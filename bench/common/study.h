@@ -1,0 +1,81 @@
+// Shared harness for the reproduction benches: recreates the paper's
+// Section IV study — 47 simulated owners (the paper's gender/locale
+// population), each with a generated ego network and a sampled risk
+// attitude — and runs the risk engine for each owner.
+//
+// Scale note: the paper's owners average 3,661 strangers; the benches
+// default to 400 per owner so every harness finishes in seconds, and take
+// the real scale via --strangers=3661. Shapes are insensitive to this
+// (verified by the sweep in ablation_design_choices).
+
+#ifndef SIGHT_BENCH_COMMON_STUDY_H_
+#define SIGHT_BENCH_COMMON_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/risk_engine.h"
+#include "sim/facebook_generator.h"
+#include "sim/owner_model.h"
+#include "util/random.h"
+
+namespace sight::bench {
+
+struct StudyConfig {
+  /// Owners to simulate (paper: 47; PaperOwnerPopulation is cycled if
+  /// more are requested).
+  size_t num_owners = 47;
+  size_t num_friends = 60;
+  size_t num_strangers = 400;
+  size_t num_communities = 5;
+  uint64_t seed = 2012;
+
+  /// Engine settings (paper defaults unless a bench overrides).
+  PoolStrategy strategy = PoolStrategy::kNetworkAndProfile;
+  ClassifierKind classifier = ClassifierKind::kHarmonic;
+  SamplerKind sampler = SamplerKind::kRandom;
+  double beta = 0.4;
+  size_t alpha = 10;
+  NetworkSimilarityConfig ns;
+  /// < 0 uses each owner's sampled confidence (paper: owners choose).
+  double confidence_override = -1.0;
+  /// Use the paper's Table-I attribute weights for Squeezer (the paper
+  /// clusters on gender/locale/last name).
+  bool paper_attribute_weights = true;
+};
+
+/// One owner's full study data.
+struct OwnerStudy {
+  sim::OwnerSpec spec;
+  sim::OwnerDataset dataset;
+  sim::OwnerAttitude attitude;
+};
+
+/// Generation only (no learning) — enough for Figs. 4/7 and Tables 3-5.
+std::vector<OwnerStudy> GenerateStudy(const StudyConfig& config);
+
+/// Result of running the engine for one owner.
+struct OwnerRunResult {
+  RiskReport report;
+  /// Queries the oracle answered.
+  size_t owner_queries = 0;
+};
+
+/// Builds the engine per `config` and runs it for one owner.
+/// `run_seed` decorrelates sampling randomness from generation.
+OwnerRunResult RunOwner(const StudyConfig& config, const OwnerStudy& owner,
+                        uint64_t run_seed);
+
+/// Runs every owner of the study (owner i uses run_seed_base + i) across
+/// all hardware threads; results come back in owner order, bit-identical
+/// to the sequential loop.
+std::vector<OwnerRunResult> RunStudy(const StudyConfig& config,
+                                     const std::vector<OwnerStudy>& study,
+                                     uint64_t run_seed_base);
+
+/// Parses --strangers=N / --owners=N / --seed=N style overrides.
+StudyConfig ParseArgs(int argc, char** argv, StudyConfig defaults = {});
+
+}  // namespace sight::bench
+
+#endif  // SIGHT_BENCH_COMMON_STUDY_H_

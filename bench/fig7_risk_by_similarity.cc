@@ -1,0 +1,77 @@
+// Figure 7 reproduction: percentage of "very risky" labels per network
+// similarity group.
+//
+// Paper finding: as network similarity with the owner grows (a possible
+// acquaintance becomes more likely), the share of very-risky judgments
+// consistently decreases.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/study.h"
+#include "core/benefit.h"
+#include "core/nsg.h"
+#include "similarity/network_similarity.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sight;
+  bench::StudyConfig config = bench::ParseArgs(argc, argv);
+
+  std::printf(
+      "=== Figure 7: %% of very risky strangers per network similarity "
+      "group ===\n");
+  std::printf("owners=%zu strangers/owner=%zu alpha=%zu seed=%llu\n\n",
+              config.num_owners, config.num_strangers, config.alpha,
+              static_cast<unsigned long long>(config.seed));
+
+  auto study = bench::GenerateStudy(config);
+  auto ns = NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+
+  std::vector<size_t> very_risky(config.alpha, 0);
+  std::vector<size_t> totals(config.alpha, 0);
+
+  for (const bench::OwnerStudy& owner : study) {
+    auto oracle =
+        sim::OwnerModel::Create(owner.attitude, &owner.dataset.profiles,
+                                &owner.dataset.visibility)
+            .value();
+    auto benefit = BenefitModel::Create(owner.attitude.theta).value();
+    std::vector<double> sims = ns.ComputeBatch(
+        owner.dataset.graph, owner.dataset.owner, owner.dataset.strangers);
+    auto groups = NetworkSimilarityGroups::Build(
+                      config.alpha, owner.dataset.strangers, sims)
+                      .value();
+    for (size_t i = 0; i < owner.dataset.strangers.size(); ++i) {
+      UserId s = owner.dataset.strangers[i];
+      RiskLabel label = oracle.TrueLabel(
+          s, sims[i], benefit.Compute(owner.dataset.visibility, s));
+      size_t group = groups.group_of(i);
+      ++totals[group];
+      if (label == RiskLabel::kVeryRisky) ++very_risky[group];
+    }
+  }
+
+  TablePrinter table({"nsg", "strangers", "very risky", "% very risky"});
+  std::vector<double> fractions;
+  for (size_t x = 0; x < config.alpha; ++x) {
+    if (totals[x] == 0) continue;
+    double frac = static_cast<double>(very_risky[x]) /
+                  static_cast<double>(totals[x]);
+    fractions.push_back(frac);
+    table.AddRow({StrFormat("%zu", x + 1), StrFormat("%zu", totals[x]),
+                  StrFormat("%zu", very_risky[x]),
+                  FormatPercent(frac, 1)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  bool decreasing = true;
+  for (size_t i = 1; i < fractions.size(); ++i) {
+    if (fractions[i] > fractions[i - 1] + 0.02) decreasing = false;
+  }
+  std::printf("\nshape check: %% very risky decreases with network "
+              "similarity (paper: consistent decrease) -- %s\n",
+              decreasing ? "holds" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Section IV-C headline reproduction: full active-learning runs for the
+// 47-owner study.
+//
+// Paper findings: 83.36% of predicted labels exactly match the owner
+// labels during validation; pools stabilize in ~3.29 rounds on average;
+// owners average 86 labels over 3,661 strangers at an average confidence
+// of 78.39.
+
+#include <cstdio>
+
+#include "bench/common/study.h"
+#include "learning/metrics.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sight;
+  bench::StudyConfig config = bench::ParseArgs(argc, argv);
+
+  std::printf("=== Headline: risk label prediction accuracy ===\n");
+  std::printf("owners=%zu strangers/owner=%zu seed=%llu\n\n",
+              config.num_owners, config.num_strangers,
+              static_cast<unsigned long long>(config.seed));
+
+  auto study = bench::GenerateStudy(config);
+
+  size_t validation_matches = 0;
+  size_t validation_total = 0;
+  SampleStats rounds_per_pool;
+  SampleStats queries_per_owner;
+  SampleStats confidence;
+  SampleStats heldout_accuracy;
+  // Error direction on held-out ground truth (Section III-C: predicting
+  // *lower* than the owner would is the dangerous direction).
+  auto confusion =
+      ConfusionMatrix::Create(kRiskLabelMin, kRiskLabelMax).value();
+
+  auto results =
+      bench::RunStudy(config, study, config.seed ^ 0x4ea0c11eULL);
+  for (size_t i = 0; i < study.size(); ++i) {
+    const bench::OwnerStudy& owner = study[i];
+    const bench::OwnerRunResult& result = results[i];
+    const AssessmentResult& a = result.report.assessment;
+    validation_matches += a.validation_matches;
+    validation_total += a.validation_total;
+    rounds_per_pool.Add(a.mean_rounds);
+    queries_per_owner.Add(static_cast<double>(a.total_queries));
+    confidence.Add(owner.attitude.confidence);
+
+    // Held-out check against the oracle's ground truth (not available to
+    // the paper, which could only validate on extra owner queries).
+    auto oracle =
+        sim::OwnerModel::Create(owner.attitude, &owner.dataset.profiles,
+                                &owner.dataset.visibility)
+            .value();
+    std::vector<int> predicted;
+    std::vector<int> truth;
+    for (const StrangerAssessment& sa : a.strangers) {
+      if (sa.owner_labeled) continue;
+      predicted.push_back(static_cast<int>(sa.predicted_label));
+      truth.push_back(static_cast<int>(oracle.TrueLabel(
+          sa.stranger, sa.network_similarity, sa.benefit)));
+      (void)confusion.Add(truth.back(), predicted.back());
+    }
+    if (!predicted.empty()) {
+      heldout_accuracy.Add(ExactMatchRate(predicted, truth).value());
+    }
+  }
+
+  double validation_accuracy =
+      validation_total == 0
+          ? 0.0
+          : static_cast<double>(validation_matches) /
+                static_cast<double>(validation_total);
+
+  TablePrinter table({"metric", "measured", "paper"});
+  table.AddRow({"exact-match validation accuracy",
+                FormatPercent(validation_accuracy, 2), "83.36%"});
+  table.AddRow({"held-out ground-truth accuracy",
+                FormatPercent(heldout_accuracy.Mean(), 2), "n/a"});
+  table.AddRow({"mean rounds to stop (per pool)",
+                FormatDouble(rounds_per_pool.Mean(), 2), "3.29"});
+  table.AddRow({"mean owner labels",
+                FormatDouble(queries_per_owner.Mean(), 1), "86"});
+  table.AddRow({"mean owner confidence",
+                FormatDouble(confidence.Mean(), 2), "78.39"});
+  table.AddRow({"labels / strangers",
+                FormatPercent(queries_per_owner.Mean() /
+                                  static_cast<double>(config.num_strangers),
+                              1),
+                "2.3% (86/3661)"});
+  table.AddRow({"under-prediction (dangerous, SIII-C)",
+                FormatPercent(confusion.UnderPredictionRate(), 2),
+                "discussed, unreported"});
+  table.AddRow({"over-prediction (extra vigilance)",
+                FormatPercent(confusion.OverPredictionRate(), 2),
+                "discussed, unreported"});
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::printf("\nshape check: validation accuracy in the paper's ~80%% band "
+              "-- %s\n",
+              validation_accuracy > 0.70 ? "holds" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Component micro-benchmarks (google-benchmark): the hot paths of the
+// risk pipeline at several pool/graph scales.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/squeezer.h"
+#include "core/benefit.h"
+#include "core/pool_builder.h"
+#include "graph/algorithms.h"
+#include "learning/harmonic.h"
+#include "sim/facebook_generator.h"
+#include "similarity/network_similarity.h"
+#include "similarity/profile_similarity.h"
+#include "util/random.h"
+
+namespace sight {
+namespace {
+
+sim::OwnerDataset MakeDataset(size_t strangers) {
+  sim::GeneratorConfig config;
+  config.num_friends = 60;
+  config.num_strangers = strangers;
+  config.num_communities = 5;
+  auto gen = sim::FacebookGenerator::Create(config).value();
+  Rng rng(7777);
+  return gen.Generate({sim::Gender::kMale, sim::Locale::kTR}, &rng).value();
+}
+
+void BM_TwoHopStrangers(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto strangers = TwoHopStrangers(ds.graph, ds.owner);
+    benchmark::DoNotOptimize(strangers);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_TwoHopStrangers)->Arg(400)->Arg(2000);
+
+void BM_NetworkSimilarityBatch(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  auto ns = NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+  for (auto _ : state) {
+    auto sims = ns.ComputeBatch(ds.graph, ds.owner, ds.strangers);
+    benchmark::DoNotOptimize(sims);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_NetworkSimilarityBatch)->Arg(400)->Arg(2000);
+
+void BM_SqueezerCluster(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  SqueezerConfig config;
+  config.threshold = 0.4;
+  config.weights = sim::PaperAttributeWeights();
+  auto squeezer = Squeezer::Create(ds.profiles.schema(), config).value();
+  for (auto _ : state) {
+    auto clustering = squeezer.Cluster(ds.profiles, ds.strangers);
+    benchmark::DoNotOptimize(clustering);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_SqueezerCluster)->Arg(400)->Arg(2000);
+
+void BM_ProfileSimilarityMatrix(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  sim::OwnerDataset ds = MakeDataset(n);
+  std::vector<UserId> pool(ds.strangers.begin(),
+                           ds.strangers.begin() +
+                               static_cast<ptrdiff_t>(std::min(
+                                   n, ds.strangers.size())));
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+  auto freqs = ValueFrequencyTable::Build(ds.profiles, pool);
+  for (auto _ : state) {
+    SimilarityMatrix m(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        m.Set(i, j, ps.Compute(ds.profiles, pool[i], pool[j], freqs));
+      }
+    }
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.size() * pool.size() / 2));
+}
+BENCHMARK(BM_ProfileSimilarityMatrix)->Arg(100)->Arg(300);
+
+void BM_HarmonicPredict(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  SimilarityMatrix m(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.2)) m.Set(i, j, rng.UniformDouble(0.1, 1.0));
+    }
+  }
+  LabeledSet labeled;
+  for (size_t i = 0; i < n / 10 + 1; ++i) {
+    labeled.Add(i * 7 % n, 1.0 + static_cast<double>(i % 3));
+  }
+  HarmonicConfig gs_config;
+  auto classifier = HarmonicFunctionClassifier::Create(gs_config).value();
+  for (auto _ : state) {
+    auto f = classifier.Predict(m, labeled);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HarmonicPredict)->Arg(100)->Arg(400);
+
+void BM_HarmonicPredictCg(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  SimilarityMatrix m(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.2)) m.Set(i, j, rng.UniformDouble(0.1, 1.0));
+    }
+  }
+  LabeledSet labeled;
+  for (size_t i = 0; i < n / 10 + 1; ++i) {
+    labeled.Add(i * 7 % n, 1.0 + static_cast<double>(i % 3));
+  }
+  HarmonicConfig config;
+  config.solver = HarmonicSolver::kConjugateGradient;
+  auto classifier = HarmonicFunctionClassifier::Create(config).value();
+  for (auto _ : state) {
+    auto f = classifier.Predict(m, labeled);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HarmonicPredictCg)->Arg(100)->Arg(400);
+
+void BM_PoolBuild(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  PoolBuilderConfig config;
+  config.attribute_weights = sim::PaperAttributeWeights();
+  auto builder = PoolBuilder::Create(config).value();
+  for (auto _ : state) {
+    auto pools = builder.Build(ds.graph, ds.profiles, ds.owner);
+    benchmark::DoNotOptimize(pools);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_PoolBuild)->Arg(400)->Arg(2000);
+
+void BM_BenefitBatch(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  auto model = BenefitModel::Create(ThetaWeights::PaperTable3()).value();
+  for (auto _ : state) {
+    auto benefits = model.ComputeBatch(ds.visibility, ds.strangers);
+    benchmark::DoNotOptimize(benefits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_BenefitBatch)->Arg(2000);
+
+void BM_GeneratorEgoNetwork(benchmark::State& state) {
+  sim::GeneratorConfig config;
+  config.num_friends = 60;
+  config.num_strangers = static_cast<size_t>(state.range(0));
+  config.num_communities = 5;
+  auto gen = sim::FacebookGenerator::Create(config).value();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto ds = gen.Generate({sim::Gender::kMale, sim::Locale::kTR}, &rng);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_GeneratorEgoNetwork)->Arg(400)->Arg(2000);
+
+}  // namespace
+}  // namespace sight
+
+BENCHMARK_MAIN();

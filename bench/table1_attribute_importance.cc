@@ -1,0 +1,109 @@
+// Table I reproduction: profile attribute importance mined from owner
+// labels (Definition 6 over the three clustering attributes gender,
+// locale, last name).
+//
+// Paper finding (47 owners): gender is the most important attribute for
+// 34 owners (avg importance 0.6231), locale second (13 owners at I1, avg
+// 0.3226), last name nearly always least (avg 0.0542; it beats locale for
+// only 2 owners).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/study.h"
+#include "core/attribute_importance.h"
+#include "core/benefit.h"
+#include "similarity/network_similarity.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sight;
+  bench::StudyConfig config = bench::ParseArgs(argc, argv);
+  constexpr size_t kLabelsPerOwner = 86;  // the paper's average
+
+  std::printf("=== Table I: profile attribute importance ===\n");
+  std::printf("owners=%zu labels/owner=%zu seed=%llu\n\n", config.num_owners,
+              kLabelsPerOwner, static_cast<unsigned long long>(config.seed));
+
+  auto study = bench::GenerateStudy(config);
+  auto ns = NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+
+  // The paper's three clustering attributes, by schema position.
+  const std::vector<std::pair<std::string, size_t>> attrs = {
+      {"gender", static_cast<size_t>(sim::FacebookAttribute::kGender)},
+      {"locale", static_cast<size_t>(sim::FacebookAttribute::kLocale)},
+      {"last name", static_cast<size_t>(sim::FacebookAttribute::kLastName)},
+  };
+
+  std::vector<std::vector<size_t>> rank_counts(attrs.size(),
+                                               std::vector<size_t>(3, 0));
+  std::vector<double> importance_sums(attrs.size(), 0.0);
+
+  Rng sample_rng(config.seed ^ 0x7ab1e1ULL);
+  for (const bench::OwnerStudy& owner : study) {
+    auto oracle =
+        sim::OwnerModel::Create(owner.attitude, &owner.dataset.profiles,
+                                &owner.dataset.visibility)
+            .value();
+    auto benefit = BenefitModel::Create(owner.attitude.theta).value();
+    std::vector<double> sims = ns.ComputeBatch(
+        owner.dataset.graph, owner.dataset.owner, owner.dataset.strangers);
+
+    // The owner labels a random sample (the paper's ~86 labels).
+    auto picks = sample_rng.SampleWithoutReplacement(
+        owner.dataset.strangers.size(), kLabelsPerOwner);
+    std::vector<UserId> labeled;
+    std::vector<RiskLabel> labels;
+    for (size_t p : picks) {
+      UserId s = owner.dataset.strangers[p];
+      labeled.push_back(s);
+      labels.push_back(oracle.TrueLabel(
+          s, sims[p], benefit.Compute(owner.dataset.visibility, s)));
+    }
+
+    auto all = ProfileAttributeImportance(owner.dataset.profiles, labeled,
+                                          labels)
+                   .value();
+    // Restrict to the three clustering attributes and renormalize.
+    std::vector<AttributeImportance> three;
+    double total = 0.0;
+    for (const auto& [name, position] : attrs) {
+      three.push_back(all[position]);
+      total += all[position].gain_ratio;
+    }
+    for (auto& ai : three) {
+      ai.importance = total > 0.0 ? ai.gain_ratio / total
+                                  : 1.0 / static_cast<double>(three.size());
+    }
+    auto ranks = ImportanceRanks(three);
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      ++rank_counts[a][ranks[a]];
+      importance_sums[a] += three[a].importance;
+    }
+  }
+
+  TablePrinter table({"attribute", "I1", "I2", "I3", "avg imp.",
+                      "paper I1", "paper avg"});
+  const char* paper_i1[] = {"34", "13", "0"};
+  const char* paper_avg[] = {"0.6231", "0.3226", "0.0542"};
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    table.AddRow({attrs[a].first, StrFormat("%zu", rank_counts[a][0]),
+                  StrFormat("%zu", rank_counts[a][1]),
+                  StrFormat("%zu", rank_counts[a][2]),
+                  FormatDouble(importance_sums[a] /
+                                   static_cast<double>(config.num_owners),
+                               4),
+                  paper_i1[a], paper_avg[a]});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  bool gender_first =
+      rank_counts[0][0] > rank_counts[1][0] &&
+      rank_counts[0][0] > rank_counts[2][0];
+  bool lastname_last = rank_counts[2][2] > rank_counts[2][0];
+  std::printf("\nshape check: gender dominates I1 and last name sits at I3 "
+              "(paper: 34/47 and 45/47) -- %s\n",
+              gender_first && lastname_last ? "holds" : "VIOLATED");
+  return 0;
+}

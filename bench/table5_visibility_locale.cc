@@ -1,0 +1,110 @@
+// Table V reproduction: profile item visibility per stranger locale,
+// measured over the generated population.
+//
+// Paper finding: work has the lowest visibility everywhere; photos the
+// highest (up to PL 95%); friend-list visibility ranges 41%-72%; IT and
+// ES locales track each other within ~5%.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common/study.h"
+#include "graph/visibility.h"
+#include "sim/visibility_model.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sight;
+  bench::StudyConfig config = bench::ParseArgs(argc, argv);
+
+  std::printf("=== Table V: item visibility per locale ===\n");
+  std::printf("owners=%zu strangers/owner=%zu seed=%llu\n",
+              config.num_owners, config.num_strangers,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("(measured over generated strangers; paper values in "
+              "parentheses)\n\n");
+
+  auto study = bench::GenerateStudy(config);
+
+  const size_t locale_attr =
+      static_cast<size_t>(sim::FacebookAttribute::kLocale);
+  std::map<std::string, std::array<size_t, kNumProfileItems>> visible;
+  std::map<std::string, size_t> totals;
+  for (const bench::OwnerStudy& owner : study) {
+    for (UserId s : owner.dataset.strangers) {
+      const std::string& locale =
+          owner.dataset.profiles.Value(s, locale_attr);
+      auto& counts = visible[locale];
+      for (size_t i = 0; i < kNumProfileItems; ++i) {
+        if (owner.dataset.visibility.IsVisible(s, kAllProfileItems[i])) {
+          ++counts[i];
+        }
+      }
+      ++totals[locale];
+    }
+  }
+
+  // The paper's seven Table V locales.
+  const sim::Locale locales[] = {sim::Locale::kTR, sim::Locale::kDE,
+                                 sim::Locale::kUS, sim::Locale::kIT,
+                                 sim::Locale::kGB, sim::Locale::kES,
+                                 sim::Locale::kPL};
+  const char* row_names[] = {"TR", "DE", "US", "IT", "GB", "ES", "PL"};
+
+  std::vector<std::string> header = {"locale", "n"};
+  for (ProfileItem item : kAllProfileItems) {
+    header.push_back(ProfileItemName(item));
+  }
+  TablePrinter table(header);
+  for (size_t l = 0; l < 7; ++l) {
+    const std::string code = sim::LocaleCode(locales[l]);
+    size_t n = totals[code];
+    std::vector<std::string> row = {row_names[l], StrFormat("%zu", n)};
+    for (size_t i = 0; i < kNumProfileItems; ++i) {
+      double measured =
+          n == 0 ? 0.0
+                 : static_cast<double>(visible[code][i]) /
+                       static_cast<double>(n);
+      double paper =
+          sim::LocaleVisibilityRate(kAllProfileItems[i], locales[l]);
+      row.push_back(StrFormat("%s (%s)", FormatPercent(measured).c_str(),
+                              FormatPercent(paper).c_str()));
+    }
+    table.AddRow(row);
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  // Shape checks, as the paper states them: "Work has the lowest
+  // visibility among items" (aggregate — even the paper's own GB row has
+  // wall 12% < work 17%, so per-locale strictness would misread the
+  // claim) and "Photos have very high visibility among all locales".
+  std::array<size_t, kNumProfileItems> aggregate{};
+  size_t population = 0;
+  bool photo_highest_everywhere = true;
+  for (size_t l = 0; l < 7; ++l) {
+    const std::string code = sim::LocaleCode(locales[l]);
+    const auto& counts = visible[code];
+    population += totals[code];
+    for (size_t i = 0; i < kNumProfileItems; ++i) aggregate[i] += counts[i];
+    for (size_t i = 0; i < kNumProfileItems; ++i) {
+      if (kAllProfileItems[i] != ProfileItem::kPhoto &&
+          counts[i] > counts[static_cast<size_t>(ProfileItem::kPhoto)]) {
+        photo_highest_everywhere = false;
+      }
+    }
+  }
+  bool work_lowest_aggregate = true;
+  size_t work_total = aggregate[static_cast<size_t>(ProfileItem::kWork)];
+  for (size_t i = 0; i < kNumProfileItems; ++i) {
+    if (kAllProfileItems[i] == ProfileItem::kWork) continue;
+    if (aggregate[i] < work_total) work_lowest_aggregate = false;
+  }
+  (void)population;
+  std::printf("\nshape check: work lowest in aggregate / photos highest in "
+              "every locale (paper) -- %s\n",
+              work_lowest_aggregate && photo_highest_everywhere
+                  ? "holds"
+                  : "VIOLATED");
+  return 0;
+}

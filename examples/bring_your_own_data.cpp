@@ -1,0 +1,87 @@
+// Bring your own data: run the risk pipeline on a dataset loaded from
+// disk.
+//
+// Sight's on-disk format is three plain files (edge list, profile CSV,
+// visibility CSV) plus a one-line meta file — export your own network
+// into that shape and everything runs on it. This example first writes a
+// sample dataset so you can inspect the format, then loads it back and
+// assesses the owner.
+
+#include <cstdio>
+
+#include "core/risk_engine.h"
+#include "io/dataset_io.h"
+#include "sim/facebook_generator.h"
+#include "sim/owner_model.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sight;
+
+  std::string dir = argc > 1 ? argv[1] : "/tmp/sight_sample_dataset";
+
+  // 1. Write a sample dataset (skip this step with your own files).
+  {
+    sim::GeneratorConfig gen_config;
+    gen_config.num_friends = 30;
+    gen_config.num_strangers = 120;
+    auto generator = sim::FacebookGenerator::Create(gen_config).value();
+    Rng rng(4711);
+    auto dataset =
+        generator.Generate({sim::Gender::kMale, sim::Locale::kDE}, &rng)
+            .value();
+    Status saved = io::SaveOwnerDataset(dataset, dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote sample dataset to %s/\n"
+                "  graph.txt       %zu users, %zu edges\n"
+                "  profiles.csv    %zu profiles\n"
+                "  visibility.csv  per-item 0/1 flags\n"
+                "  meta.txt        owner id\n\n",
+                dir.c_str(), dataset.graph.NumUsers(),
+                dataset.graph.NumEdges(), dataset.profiles.num_profiles());
+  }
+
+  // 2. Load it back — this is the path your own data takes.
+  auto loaded_or = io::LoadOwnerDataset(dir);
+  if (!loaded_or.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded_or.status().ToString().c_str());
+    return 1;
+  }
+  sim::OwnerDataset dataset = std::move(loaded_or).value();
+  std::printf("loaded: owner %u with %zu friends and %zu strangers\n\n",
+              dataset.owner, dataset.friends.size(),
+              dataset.strangers.size());
+
+  // 3. Assess. The oracle here is simulated; plug a UI in production.
+  Rng attitude_rng(13);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto oracle = sim::OwnerModel::Create(attitude, &dataset.profiles,
+                                        &dataset.visibility)
+                    .value();
+  RiskEngineConfig config;
+  auto engine = RiskEngine::Create(config).value();
+  Rng rng(17);
+  auto report = engine
+                    .AssessOwner(dataset.graph, dataset.profiles,
+                                 dataset.visibility, dataset.owner, &oracle,
+                                 &rng)
+                    .value();
+
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const StrangerAssessment& sa : report.assessment.strangers) {
+    ++counts[static_cast<int>(sa.predicted_label)];
+  }
+  TablePrinter table({"risk label", "strangers"});
+  table.AddRow({"very risky", StrFormat("%zu", counts[3])});
+  table.AddRow({"risky", StrFormat("%zu", counts[2])});
+  table.AddRow({"not risky", StrFormat("%zu", counts[1])});
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\n%zu owner labels spent on %zu strangers\n",
+              report.assessment.total_queries, report.num_strangers);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Cross-network comparison: the same risk pipeline on two structurally
+// different social networks (the paper's Section VI direction).
+//
+// The Facebook-like network is homophily-driven: strangers connect
+// through interconnected friend communities, profiles are guarded. The
+// Twitter-like network is heterophily-driven: strangers connect through
+// celebrity hubs whose followers never meet, and almost everything is
+// public. Same engine, same parameters — different risk landscapes.
+
+#include <cstdio>
+
+#include "core/benefit.h"
+#include "core/nsg.h"
+#include "core/risk_engine.h"
+#include "sim/facebook_generator.h"
+#include "sim/twitter_generator.h"
+#include "similarity/network_similarity.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sight;
+
+struct NetworkSummary {
+  std::vector<size_t> nsg_sizes;
+  double mean_benefit = 0.0;
+  size_t strangers = 0;
+};
+
+NetworkSummary Summarize(const sim::OwnerDataset& ds) {
+  NetworkSummary summary;
+  summary.strangers = ds.strangers.size();
+  auto ns = NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+  auto sims = ns.ComputeBatch(ds.graph, ds.owner, ds.strangers);
+  auto groups =
+      NetworkSimilarityGroups::Build(10, ds.strangers, sims).value();
+  summary.nsg_sizes = groups.GroupSizes();
+  auto benefit = BenefitModel::Create(ThetaWeights::Uniform()).value();
+  double sum = 0.0;
+  for (UserId s : ds.strangers) sum += benefit.Compute(ds.visibility, s);
+  summary.mean_benefit =
+      ds.strangers.empty() ? 0.0
+                           : sum / static_cast<double>(ds.strangers.size());
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sight;
+
+  // Facebook-like ego network.
+  sim::GeneratorConfig fb_config;
+  fb_config.num_friends = 60;
+  fb_config.num_strangers = 400;
+  auto fb_gen = sim::FacebookGenerator::Create(fb_config).value();
+  Rng fb_rng(2012);
+  auto fb = fb_gen.Generate({sim::Gender::kMale, sim::Locale::kTR}, &fb_rng)
+                .value();
+
+  // Twitter-like follow network.
+  sim::TwitterGeneratorConfig tw_config;
+  tw_config.num_followed = 60;
+  tw_config.num_strangers = 400;
+  auto tw_gen = sim::TwitterGenerator::Create(tw_config).value();
+  Rng tw_rng(2012);
+  auto tw = tw_gen.Generate(&tw_rng).value();
+
+  NetworkSummary fb_summary = Summarize(fb);
+  NetworkSummary tw_summary = Summarize(tw);
+
+  std::printf("=== structural contrast (alpha=10 NSG buckets) ===\n");
+  TablePrinter table({"nsg", "facebook-like", "twitter-like"});
+  for (size_t x = 0; x < 10; ++x) {
+    if (fb_summary.nsg_sizes[x] == 0 && tw_summary.nsg_sizes[x] == 0) {
+      continue;
+    }
+    table.AddRow({StrFormat("%zu", x + 1),
+                  StrFormat("%zu", fb_summary.nsg_sizes[x]),
+                  StrFormat("%zu", tw_summary.nsg_sizes[x])});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nmean stranger benefit (uniform theta): facebook %.3f vs "
+              "twitter %.3f\n"
+              "(heterophily: on the Twitter-like network the content is "
+              "public, so benefits run high while network similarity "
+              "stays low)\n\n",
+              fb_summary.mean_benefit, tw_summary.mean_benefit);
+
+  // Same engine on the Twitter network with a simple attitude: unverified
+  // low-similarity accounts are risky.
+  class VerifiedOracle : public LabelOracle {
+   public:
+    explicit VerifiedOracle(const ProfileTable* profiles)
+        : profiles_(profiles) {}
+    RiskLabel QueryLabel(UserId stranger, double similarity,
+                         double) override {
+      if (profiles_->Value(stranger, 0) == "yes") {
+        return RiskLabel::kNotRisky;
+      }
+      return similarity < 0.15 ? RiskLabel::kVeryRisky : RiskLabel::kRisky;
+    }
+
+   private:
+    const ProfileTable* profiles_;
+  } oracle(&tw.profiles);
+
+  auto engine = RiskEngine::Create(RiskEngineConfig{}).value();
+  Rng run_rng(7);
+  auto report =
+      engine.AssessOwner(tw.graph, tw.profiles, tw.visibility, tw.owner,
+                         &oracle, &run_rng)
+          .value();
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const StrangerAssessment& sa : report.assessment.strangers) {
+    ++counts[static_cast<int>(sa.predicted_label)];
+  }
+  std::printf("=== twitter-like assessment (same engine, zero changes) "
+              "===\n"
+              "%zu strangers, %zu owner labels: %zu very risky / %zu "
+              "risky / %zu not risky\n",
+              report.num_strangers, report.assessment.total_queries,
+              counts[3], counts[2], counts[1]);
+  return 0;
+}

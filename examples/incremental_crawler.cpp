@@ -1,0 +1,91 @@
+// Incremental crawling: risk assessment that keeps up with discovery.
+//
+// The paper's Sight app cannot see the whole graph at once — strangers
+// surface over days as friends interact. This example drives the Crawler
+// simulator tick by tick through a RiskSession: after every discovery
+// batch the pools are rebuilt on the fly (the paper's stated reason for
+// choosing active learning over a fixed training set), while every answer
+// the owner has already given carries over — the owner is never asked
+// about the same stranger twice.
+
+#include <cstdio>
+
+#include "core/risk_session.h"
+#include "sim/crawler.h"
+#include "sim/facebook_generator.h"
+#include "sim/owner_model.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace sight;
+
+  sim::GeneratorConfig gen_config;
+  gen_config.num_friends = 70;
+  gen_config.num_strangers = 600;
+  auto generator = sim::FacebookGenerator::Create(gen_config).value();
+  Rng rng(31337);
+  auto dataset =
+      generator.Generate({sim::Gender::kMale, sim::Locale::kPL}, &rng)
+          .value();
+
+  Rng attitude_rng(5);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto owner = sim::OwnerModel::Create(attitude, &dataset.profiles,
+                                       &dataset.visibility)
+                   .value();
+
+  sim::CrawlerConfig crawl_config;
+  crawl_config.batch_size = 120;  // one "day" of discovery
+  Rng crawl_rng(8);
+  auto crawler = sim::Crawler::Create(dataset.graph, dataset.owner,
+                                      crawl_config, &crawl_rng)
+                     .value();
+
+  RiskEngineConfig config;
+  config.pools.attribute_weights = sim::PaperAttributeWeights();
+  config.learner.confidence = attitude.confidence;
+  config.theta = attitude.theta;
+  auto session = RiskSession::Create(config, &dataset.graph,
+                                     &dataset.profiles, &dataset.visibility,
+                                     dataset.owner)
+                     .value();
+
+  std::printf("crawling %zu strangers in batches of %zu...\n\n",
+              crawler.total_strangers(), crawl_config.batch_size);
+
+  TablePrinter table({"day", "discovered", "new labels", "labels total",
+                      "very risky", "risky", "not risky"});
+  Rng run_rng(99);
+  size_t day = 0;
+  while (!crawler.done()) {
+    ++day;
+    auto batch = crawler.Tick();
+    if (!session.AddStrangers(batch).ok()) break;
+    auto report_or = session.Assess(&owner, &run_rng);
+    if (!report_or.ok()) {
+      std::fprintf(stderr, "assess failed: %s\n",
+                   report_or.status().ToString().c_str());
+      return 1;
+    }
+    const RiskReport& report = *report_or;
+    size_t counts[4] = {0, 0, 0, 0};
+    for (const StrangerAssessment& sa : report.assessment.strangers) {
+      ++counts[static_cast<int>(sa.predicted_label)];
+    }
+    table.AddRow({StrFormat("%zu", day),
+                  StrFormat("%zu", session.num_strangers()),
+                  StrFormat("%zu", report.assessment.total_queries),
+                  StrFormat("%zu", session.num_known_labels()),
+                  StrFormat("%zu", counts[3]), StrFormat("%zu", counts[2]),
+                  StrFormat("%zu", counts[1])});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nowner answered %zu questions for %zu strangers (%.1f%%); "
+              "labels persist across pool rebuilds, so each new day only "
+              "pays for its new strangers.\n",
+              session.num_known_labels(), session.num_strangers(),
+              100.0 * static_cast<double>(session.num_known_labels()) /
+                  static_cast<double>(session.num_strangers()));
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "clustering/kmodes.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sight {
+
+Result<KModes> KModes::Create(const ProfileSchema& schema,
+                              KModesConfig config) {
+  if (config.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  size_t n = schema.num_attributes();
+  if (n == 0) return Status::InvalidArgument("schema has no attributes");
+  std::vector<double> weights = config.weights;
+  if (weights.empty()) {
+    weights.assign(n, 1.0);
+  } else if (weights.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu weights for %zu attributes", weights.size(), n));
+  }
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("weights must be >= 0");
+  }
+  return KModes(std::move(config), std::move(weights));
+}
+
+double KModes::Distance(const Profile& profile,
+                        const std::vector<std::string>& mode) const {
+  double dist = 0.0;
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    bool match = !profile.IsMissing(a) && a < mode.size() &&
+                 profile.value(a) == mode[a];
+    if (!match) dist += weights_[a];
+  }
+  return dist;
+}
+
+Result<Clustering> KModes::Cluster(const ProfileTable& table,
+                                   const std::vector<UserId>& users,
+                                   Rng* rng) const {
+  SIGHT_CHECK(rng != nullptr);
+  if (table.schema().num_attributes() != weights_.size()) {
+    return Status::InvalidArgument(
+        "profile table schema does not match the KModes schema");
+  }
+  Clustering result;
+  if (users.empty()) return result;
+
+  size_t k = std::min(config_.k, users.size());
+  // Farthest-point seeding: the first seed is random; each further seed
+  // maximizes its distance to the nearest existing seed. This avoids the
+  // classic k-modes degeneracy of drawing two identical seeds and
+  // collapsing clusters.
+  std::vector<std::vector<std::string>> modes;
+  modes.reserve(k);
+  size_t first =
+      static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(users.size()) - 1));
+  modes.push_back(table.Get(users[first]).values);
+  while (modes.size() < k) {
+    double best_dist = -1.0;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < users.size(); ++i) {
+      const Profile& p = table.Get(users[i]);
+      double nearest = Distance(p, modes[0]);
+      for (size_t m = 1; m < modes.size(); ++m) {
+        nearest = std::min(nearest, Distance(p, modes[m]));
+      }
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best_idx = i;
+      }
+    }
+    modes.push_back(table.Get(users[best_idx]).values);
+  }
+
+  std::vector<size_t> assignment(users.size(), 0);
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < users.size(); ++i) {
+      const Profile& p = table.Get(users[i]);
+      double best = Distance(p, modes[0]);
+      size_t best_c = 0;
+      for (size_t c = 1; c < k; ++c) {
+        double d = Distance(p, modes[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step: recompute per-attribute modes.
+    size_t num_attrs = weights_.size();
+    std::vector<std::vector<std::unordered_map<std::string, size_t>>> counts(
+        k, std::vector<std::unordered_map<std::string, size_t>>(num_attrs));
+    for (size_t i = 0; i < users.size(); ++i) {
+      const Profile& p = table.Get(users[i]);
+      for (AttributeId a = 0; a < num_attrs; ++a) {
+        if (p.IsMissing(a)) continue;
+        ++counts[assignment[i]][a][p.value(a)];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      for (AttributeId a = 0; a < num_attrs; ++a) {
+        const auto& cnt = counts[c][a];
+        if (cnt.empty()) continue;  // keep previous mode value
+        auto best = cnt.begin();
+        for (auto it = cnt.begin(); it != cnt.end(); ++it) {
+          if (it->second > best->second ||
+              (it->second == best->second && it->first < best->first)) {
+            best = it;
+          }
+        }
+        modes[c][a] = best->first;
+      }
+    }
+  }
+
+  // Compact non-empty clusters to consecutive ids.
+  std::vector<size_t> remap(k, SIZE_MAX);
+  result.assignments.resize(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    size_t c = assignment[i];
+    if (remap[c] == SIZE_MAX) {
+      remap[c] = result.clusters.size();
+      result.clusters.emplace_back();
+    }
+    result.assignments[i] = remap[c];
+    result.clusters[remap[c]].push_back(users[i]);
+  }
+  return result;
+}
+
+}  // namespace sight

@@ -1,0 +1,82 @@
+#include "clustering/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace sight {
+namespace {
+
+Status CheckParallel(const std::vector<size_t>& a,
+                     const std::vector<size_t>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "assignments and truth must have the same length");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("empty clustering");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ClusterPurity(const std::vector<size_t>& assignments,
+                             const std::vector<size_t>& truth) {
+  SIGHT_RETURN_NOT_OK(CheckParallel(assignments, truth));
+  std::map<size_t, std::map<size_t, size_t>> cluster_class_counts;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    ++cluster_class_counts[assignments[i]][truth[i]];
+  }
+  size_t correct = 0;
+  for (const auto& [cluster, class_counts] : cluster_class_counts) {
+    size_t max_count = 0;
+    for (const auto& [cls, count] : class_counts) {
+      max_count = std::max(max_count, count);
+    }
+    correct += max_count;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(assignments.size());
+}
+
+Result<double> NormalizedMutualInformation(
+    const std::vector<size_t>& assignments,
+    const std::vector<size_t>& truth) {
+  SIGHT_RETURN_NOT_OK(CheckParallel(assignments, truth));
+  const double n = static_cast<double>(assignments.size());
+
+  std::map<size_t, size_t> count_c;
+  std::map<size_t, size_t> count_t;
+  std::map<std::pair<size_t, size_t>, size_t> joint;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    ++count_c[assignments[i]];
+    ++count_t[truth[i]];
+    ++joint[{assignments[i], truth[i]}];
+  }
+
+  auto entropy = [n](const std::map<size_t, size_t>& counts) {
+    double h = 0.0;
+    for (const auto& [key, count] : counts) {
+      double p = static_cast<double>(count) / n;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+  };
+
+  double hc = entropy(count_c);
+  double ht = entropy(count_t);
+  if (hc == 0.0 && ht == 0.0) return 1.0;  // both trivially single-cluster
+  if (hc == 0.0 || ht == 0.0) return 0.0;
+
+  double mi = 0.0;
+  for (const auto& [pair, count] : joint) {
+    double pxy = static_cast<double>(count) / n;
+    double px = static_cast<double>(count_c[pair.first]) / n;
+    double py = static_cast<double>(count_t[pair.second]) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return 2.0 * mi / (hc + ht);
+}
+
+}  // namespace sight

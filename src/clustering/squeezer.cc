@@ -1,0 +1,129 @@
+#include "clustering/squeezer.h"
+
+#include "util/string_util.h"
+
+namespace sight {
+
+void ClusterSummary::Add(const Profile& profile) {
+  for (AttributeId a = 0; a < supports_.size(); ++a) {
+    if (profile.IsMissing(a)) continue;
+    ++supports_[a][profile.value(a)];
+    ++totals_[a];
+  }
+  ++size_;
+}
+
+size_t ClusterSummary::Support(AttributeId attr,
+                               const std::string& value) const {
+  if (attr >= supports_.size()) return 0;
+  auto it = supports_[attr].find(value);
+  return it == supports_[attr].end() ? 0 : it->second;
+}
+
+size_t ClusterSummary::TotalSupport(AttributeId attr) const {
+  return attr < totals_.size() ? totals_[attr] : 0;
+}
+
+Result<Squeezer> Squeezer::Create(const ProfileSchema& schema,
+                                  SqueezerConfig config) {
+  if (config.threshold < 0.0 || config.threshold > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("threshold %f not in [0, 1]", config.threshold));
+  }
+  size_t n = schema.num_attributes();
+  if (n == 0) return Status::InvalidArgument("schema has no attributes");
+  std::vector<double> weights = std::move(config.weights);
+  if (weights.empty()) {
+    weights.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    if (weights.size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("got %zu weights for %zu attributes", weights.size(), n));
+    }
+    double sum = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) {
+        return Status::InvalidArgument("weights must be >= 0");
+      }
+      sum += w;
+    }
+    if (!(sum > 0.0)) {
+      return Status::InvalidArgument("weights must not all be zero");
+    }
+    for (double& w : weights) w /= sum;
+  }
+  return Squeezer(config.threshold, std::move(weights));
+}
+
+double Squeezer::Similarity(const Profile& profile,
+                            const ClusterSummary& summary) const {
+  double sim = 0.0;
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    if (profile.IsMissing(a)) continue;
+    size_t total = summary.TotalSupport(a);
+    if (total == 0) continue;
+    sim += weights_[a] *
+           (static_cast<double>(summary.Support(a, profile.value(a))) /
+            static_cast<double>(total));
+  }
+  return sim;
+}
+
+Result<Clustering> Squeezer::Cluster(const ProfileTable& table,
+                                     const std::vector<UserId>& users) const {
+  SqueezerConfig config;
+  config.threshold = threshold_;
+  config.weights = weights_;
+  SIGHT_ASSIGN_OR_RETURN(IncrementalSqueezer incremental,
+                         IncrementalSqueezer::Create(table.schema(), config));
+  SIGHT_RETURN_NOT_OK(incremental.AddBatch(table, users).status());
+  return incremental.clustering();
+}
+
+Result<IncrementalSqueezer> IncrementalSqueezer::Create(
+    const ProfileSchema& schema, SqueezerConfig config) {
+  SIGHT_ASSIGN_OR_RETURN(Squeezer squeezer,
+                         Squeezer::Create(schema, std::move(config)));
+  size_t num_attributes = schema.num_attributes();
+  return IncrementalSqueezer(std::move(squeezer), num_attributes);
+}
+
+Result<size_t> IncrementalSqueezer::Add(const ProfileTable& table,
+                                        UserId user) {
+  if (table.schema().num_attributes() != num_attributes_) {
+    return Status::InvalidArgument(
+        "profile table schema does not match the Squeezer schema");
+  }
+  const Profile& p = table.Get(user);
+  double best_sim = -1.0;
+  size_t best_cluster = 0;
+  for (size_t c = 0; c < summaries_.size(); ++c) {
+    double sim = squeezer_.Similarity(p, summaries_[c]);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best_cluster = c;
+    }
+  }
+  if (summaries_.empty() || best_sim < squeezer_.threshold()) {
+    summaries_.emplace_back(num_attributes_);
+    clustering_.clusters.emplace_back();
+    best_cluster = summaries_.size() - 1;
+  }
+  summaries_[best_cluster].Add(p);
+  clustering_.clusters[best_cluster].push_back(user);
+  clustering_.assignments.push_back(best_cluster);
+  return best_cluster;
+}
+
+Result<std::vector<size_t>> IncrementalSqueezer::AddBatch(
+    const ProfileTable& table, const std::vector<UserId>& users) {
+  std::vector<size_t> assigned;
+  assigned.reserve(users.size());
+  for (UserId u : users) {
+    SIGHT_ASSIGN_OR_RETURN(size_t cluster, Add(table, u));
+    assigned.push_back(cluster);
+  }
+  return assigned;
+}
+
+}  // namespace sight

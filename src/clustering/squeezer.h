@@ -1,0 +1,136 @@
+// Squeezer: one-pass clustering of categorical data (He, Xu, Deng 2002),
+// adapted to OSN profiles as in the risk paper's Definition 2.
+//
+// The algorithm makes a single pass over the input. The first record forms
+// the first cluster; each further record s is compared against every
+// existing cluster c with
+//
+//   Sim(s, c) = sum_i w_i * Sup(s.pa_i) / sum_{x in VAL_i(c)} Sup(x)
+//
+// where Sup(x) is the number of members of c whose attribute i equals x.
+// s joins the most similar cluster if that similarity reaches the threshold
+// beta, otherwise it starts a new cluster. Weights w_i let callers emphasize
+// attributes (the paper mines them via information gain ratio).
+
+#ifndef SIGHT_CLUSTERING_SQUEEZER_H_
+#define SIGHT_CLUSTERING_SQUEEZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/profile.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// Incremental per-cluster value supports (the "cluster summary" of the
+/// Squeezer paper): for each attribute, value -> member count.
+class ClusterSummary {
+ public:
+  explicit ClusterSummary(size_t num_attributes)
+      : supports_(num_attributes), totals_(num_attributes, 0) {}
+
+  /// Adds one profile's values to the summary (missing values skipped).
+  void Add(const Profile& profile);
+
+  /// Sup(value) for `attr`: members of this cluster with that value.
+  size_t Support(AttributeId attr, const std::string& value) const;
+
+  /// Sum of supports over all values of `attr` (= members with a
+  /// non-missing value for attr).
+  size_t TotalSupport(AttributeId attr) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<std::unordered_map<std::string, size_t>> supports_;
+  std::vector<size_t> totals_;
+  size_t size_ = 0;
+};
+
+/// Result of a clustering run: cluster id per input position plus member
+/// lists.
+struct Clustering {
+  /// assignments[i] = cluster of users[i].
+  std::vector<size_t> assignments;
+  /// clusters[c] = user ids in cluster c, in insertion order.
+  std::vector<std::vector<UserId>> clusters;
+
+  size_t num_clusters() const { return clusters.size(); }
+};
+
+/// Squeezer configuration.
+struct SqueezerConfig {
+  /// Similarity threshold beta in [0, 1] for joining an existing cluster
+  /// (the paper uses 0.4).
+  double threshold = 0.4;
+  /// Per-attribute weights; empty = uniform. Normalized to sum 1.
+  std::vector<double> weights;
+};
+
+/// One-pass categorical clusterer.
+class Squeezer {
+ public:
+  static Result<Squeezer> Create(const ProfileSchema& schema,
+                                 SqueezerConfig config);
+
+  /// Definition 2 similarity of `profile` to the cluster summarized by
+  /// `summary`; in [0, 1] when weights sum to 1. Empty clusters score 0.
+  double Similarity(const Profile& profile,
+                    const ClusterSummary& summary) const;
+
+  /// Clusters `users` (profiles from `table`) in the given order.
+  Result<Clustering> Cluster(const ProfileTable& table,
+                             const std::vector<UserId>& users) const;
+
+  double threshold() const { return threshold_; }
+  const std::vector<double>& normalized_weights() const { return weights_; }
+
+ private:
+  friend class IncrementalSqueezer;
+
+  Squeezer(double threshold, std::vector<double> weights)
+      : threshold_(threshold), weights_(std::move(weights)) {}
+
+  double threshold_;
+  std::vector<double> weights_;
+};
+
+/// Stateful Squeezer for incrementally arriving data (the crawler flow):
+/// cluster summaries stay alive between batches, so a stranger discovered
+/// next week joins the cluster its profile matches today — assignments
+/// never change retroactively, exactly the one-pass semantics of the
+/// batch algorithm stretched over time.
+class IncrementalSqueezer {
+ public:
+  static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
+                                            SqueezerConfig config);
+
+  /// Assigns `user` (profile from `table`) to the best cluster, creating
+  /// a new one below the threshold; returns the cluster index.
+  Result<size_t> Add(const ProfileTable& table, UserId user);
+
+  /// Adds users in order; returns their cluster indices.
+  Result<std::vector<size_t>> AddBatch(const ProfileTable& table,
+                                       const std::vector<UserId>& users);
+
+  /// Assignments/membership of everything added so far.
+  const Clustering& clustering() const { return clustering_; }
+  size_t num_clusters() const { return summaries_.size(); }
+  size_t num_points() const { return clustering_.assignments.size(); }
+
+ private:
+  IncrementalSqueezer(Squeezer squeezer, size_t num_attributes)
+      : squeezer_(std::move(squeezer)), num_attributes_(num_attributes) {}
+
+  Squeezer squeezer_;
+  size_t num_attributes_;
+  std::vector<ClusterSummary> summaries_;
+  Clustering clustering_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_CLUSTERING_SQUEEZER_H_

@@ -1,0 +1,357 @@
+#include "core/active_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sight {
+
+Status ActiveLearnerConfig::Validate() const {
+  if (labels_per_round == 0) {
+    return Status::InvalidArgument("labels_per_round must be positive");
+  }
+  if (!(rmse_threshold > 0.0)) {
+    return Status::InvalidArgument("rmse_threshold must be positive");
+  }
+  if (confidence < 0.0 || confidence > 100.0) {
+    return Status::InvalidArgument(
+        StrFormat("confidence %f not in [0, 100]", confidence));
+  }
+  if (stable_rounds == 0) {
+    return Status::InvalidArgument("stable_rounds must be positive");
+  }
+  if (max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be positive");
+  }
+  return Status::OK();
+}
+
+Result<PoolLearner> PoolLearner::Create(
+    const StrangerPool& pool, SimilarityMatrix weights,
+    std::vector<double> display_similarity,
+    std::vector<double> display_benefit, const ActiveLearnerConfig& config,
+    const GraphClassifier* classifier, const Sampler* sampler,
+    const KnownLabels* known_labels) {
+  SIGHT_RETURN_NOT_OK(config.Validate());
+  if (pool.members.empty()) {
+    return Status::InvalidArgument("pool has no members");
+  }
+  if (weights.size() != pool.members.size()) {
+    return Status::InvalidArgument(
+        StrFormat("weights matrix size %zu != pool size %zu", weights.size(),
+                  pool.members.size()));
+  }
+  if (display_similarity.size() != pool.members.size() ||
+      display_benefit.size() != pool.members.size()) {
+    return Status::InvalidArgument(
+        "display similarity/benefit must be parallel to pool members");
+  }
+  if (classifier == nullptr || sampler == nullptr) {
+    return Status::InvalidArgument("classifier and sampler are required");
+  }
+  if (config.sparsify_top_k > 0) {
+    weights.SparsifyTopK(config.sparsify_top_k);
+  }
+  PoolLearner learner(pool, std::move(weights),
+                      std::move(display_similarity),
+                      std::move(display_benefit), config, classifier,
+                      sampler);
+  if (known_labels != nullptr) {
+    for (size_t i = 0; i < learner.members_.size(); ++i) {
+      auto it = known_labels->find(learner.members_[i]);
+      if (it == known_labels->end()) continue;
+      if (it->second < kRiskLabelMin || it->second > kRiskLabelMax) {
+        return Status::OutOfRange(
+            StrFormat("known label %f for stranger %u outside [%d, %d]",
+                      it->second, learner.members_[i], kRiskLabelMin,
+                      kRiskLabelMax));
+      }
+      learner.labeled_.Add(i, it->second);
+      learner.is_labeled_[i] = true;
+      ++learner.seeded_count_;
+    }
+  }
+  return learner;
+}
+
+PoolLearner::PoolLearner(const StrangerPool& pool, SimilarityMatrix weights,
+                         std::vector<double> display_similarity,
+                         std::vector<double> display_benefit,
+                         const ActiveLearnerConfig& config,
+                         const GraphClassifier* classifier,
+                         const Sampler* sampler)
+    : members_(pool.members), weights_(std::move(weights)),
+      display_similarity_(std::move(display_similarity)),
+      display_benefit_(std::move(display_benefit)), config_(config),
+      classifier_(classifier), sampler_(sampler),
+      is_labeled_(pool.members.size(), false),
+      predictions_(pool.members.size(), 0.0) {}
+
+Status PoolLearner::Repredict() {
+  SIGHT_ASSIGN_OR_RETURN(std::vector<double> next,
+                         classifier_->Predict(weights_, labeled_));
+  predictions_ = std::move(next);
+  has_predictions_ = true;
+  return Status::OK();
+}
+
+Result<RoundRecord> PoolLearner::RunRound(LabelOracle* oracle, Rng* rng) {
+  if (oracle == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("oracle and rng are required");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("pool learner already finished");
+  }
+
+  RoundRecord record;
+  record.round = ++rounds_run_;
+
+  // Labels seeded at creation (incremental flow) have not produced
+  // predictions yet; do that first so this round can validate against
+  // them.
+  if (!has_predictions_ && labeled_.size() > 0) {
+    SIGHT_RETURN_NOT_OK(Repredict());
+  }
+
+  // 1. Sample unlabeled strangers.
+  std::vector<size_t> unlabeled;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!is_labeled_[i]) unlabeled.push_back(i);
+  }
+  if (unlabeled.empty()) {
+    // Fully covered by carried-over labels: nothing to ask.
+    finished_ = true;
+    outcome_ = PoolOutcome::kExhausted;
+    return record;
+  }
+  SamplingContext context{unlabeled,
+                          has_predictions_ ? predictions_
+                                           : std::vector<double>()};
+  std::vector<size_t> picked =
+      sampler_->Select(context, config_.labels_per_round, rng);
+  record.newly_labeled = picked.size();
+
+  // 2. Query the oracle; validate previous-round predictions against the
+  //    fresh owner labels (Definition 4).
+  double square_error = 0.0;
+  std::vector<double> owner_values;
+  owner_values.reserve(picked.size());
+  for (size_t idx : picked) {
+    RiskLabel label = oracle->QueryLabel(
+        members_[idx], display_similarity_[idx], display_benefit_[idx]);
+    double value = RiskLabelValue(label);
+    owner_values.push_back(value);
+    if (has_predictions_) {
+      int predicted =
+          RoundToLabel(predictions_[idx], kRiskLabelMin, kRiskLabelMax);
+      double diff = static_cast<double>(predicted) - value;
+      square_error += diff * diff;
+      ++validation_total_;
+      if (predicted == static_cast<int>(label)) ++validation_matches_;
+    }
+  }
+  if (has_predictions_ && !picked.empty()) {
+    record.rmse_valid = true;
+    record.rmse =
+        std::sqrt(square_error / static_cast<double>(picked.size()));
+    last_rmse_valid_ = true;
+    last_rmse_ = record.rmse;
+  }
+
+  // 3. Move samples into the labeled set.
+  for (size_t i = 0; i < picked.size(); ++i) {
+    labeled_.Add(picked[i], owner_values[i]);
+    is_labeled_[picked[i]] = true;
+  }
+
+  // 4. Retrain / repredict.
+  std::vector<double> previous = predictions_;
+  bool had_predictions = has_predictions_;
+  SIGHT_RETURN_NOT_OK(Repredict());
+
+  // 5. Stabilization check (Definition 5) over still-unlabeled members.
+  double tolerance = config_.StabilizationTolerance();
+  size_t unstable = 0;
+  if (had_predictions) {
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (is_labeled_[i]) continue;
+      if (std::fabs(predictions_[i] - previous[i]) >= tolerance) ++unstable;
+    }
+    record.unstabilized = unstable;
+    record.stabilized = unstable == 0;
+    consecutive_stable_ = record.stabilized ? consecutive_stable_ + 1 : 0;
+  } else {
+    // First prediction: nothing to compare; count all as unstabilized.
+    size_t remaining = 0;
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (!is_labeled_[i]) ++remaining;
+    }
+    record.unstabilized = remaining;
+    record.stabilized = false;
+  }
+
+  // 6. Stopping conditions.
+  bool all_labeled =
+      std::all_of(is_labeled_.begin(), is_labeled_.end(),
+                  [](bool b) { return b; });
+  if (all_labeled) {
+    finished_ = true;
+    outcome_ = PoolOutcome::kExhausted;
+  } else if (consecutive_stable_ >= config_.stable_rounds &&
+             last_rmse_valid_ && last_rmse_ < config_.rmse_threshold) {
+    finished_ = true;
+    outcome_ = PoolOutcome::kConverged;
+  } else if (rounds_run_ >= config_.max_rounds) {
+    finished_ = true;
+    outcome_ = PoolOutcome::kRoundLimit;
+  }
+  return record;
+}
+
+Result<std::vector<RoundRecord>> PoolLearner::RunToCompletion(
+    LabelOracle* oracle, Rng* rng) {
+  std::vector<RoundRecord> records;
+  while (!finished_) {
+    SIGHT_ASSIGN_OR_RETURN(RoundRecord record, RunRound(oracle, rng));
+    records.push_back(record);
+  }
+  return records;
+}
+
+RiskLabel PoolLearner::PredictedLabel(size_t i) const {
+  SIGHT_CHECK(i < members_.size());
+  int value = RoundToLabel(predictions_[i], kRiskLabelMin, kRiskLabelMax);
+  return static_cast<RiskLabel>(value);
+}
+
+Result<ActiveLearner> ActiveLearner::Create(
+    const PoolSet& pools, const ProfileTable& profiles,
+    std::vector<double> display_benefits, ActiveLearnerConfig config,
+    const GraphClassifier* classifier, const Sampler* sampler,
+    const PoolLearner::KnownLabels* known_labels) {
+  SIGHT_RETURN_NOT_OK(config.Validate());
+  if (display_benefits.size() != pools.strangers.size()) {
+    return Status::InvalidArgument(
+        "display_benefits must be parallel to the pool set's strangers");
+  }
+  if (classifier == nullptr || sampler == nullptr) {
+    return Status::InvalidArgument("classifier and sampler are required");
+  }
+
+  ActiveLearner learner;
+  learner.strangers_ = pools.strangers;
+  learner.network_similarities_ = pools.network_similarities;
+  learner.benefits_ = std::move(display_benefits);
+
+  std::unordered_map<UserId, size_t> position;
+  position.reserve(pools.strangers.size());
+  for (size_t i = 0; i < pools.strangers.size(); ++i) {
+    position[pools.strangers[i]] = i;
+  }
+
+  SIGHT_ASSIGN_OR_RETURN(ProfileSimilarity ps,
+                         ProfileSimilarity::Create(profiles.schema()));
+
+  for (size_t p = 0; p < pools.pools.size(); ++p) {
+    const StrangerPool& pool = pools.pools[p];
+    size_t n = pool.members.size();
+    // Edge weights: profile similarity with value frequencies from the
+    // pool itself (Section III-C).
+    ValueFrequencyTable freqs =
+        ValueFrequencyTable::Build(profiles, pool.members);
+    SimilarityMatrix weights(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Profile& pi = profiles.Get(pool.members[i]);
+      for (size_t j = i + 1; j < n; ++j) {
+        weights.Set(i, j,
+                    ps.Compute(pi, profiles.Get(pool.members[j]), freqs));
+      }
+    }
+    std::vector<double> sim(n, 0.0);
+    std::vector<double> ben(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = position.find(pool.members[i]);
+      if (it == position.end()) {
+        return Status::InvalidArgument(
+            StrFormat("pool member %u missing from the stranger list",
+                      pool.members[i]));
+      }
+      sim[i] = pools.network_similarities[it->second];
+      ben[i] = learner.benefits_[it->second];
+    }
+    SIGHT_ASSIGN_OR_RETURN(
+        PoolLearner pool_learner,
+        PoolLearner::Create(pool, std::move(weights), std::move(sim),
+                            std::move(ben), config, classifier, sampler,
+                            known_labels));
+    learner.learners_.push_back(std::move(pool_learner));
+    learner.pool_of_learner_.push_back(p);
+  }
+  return learner;
+}
+
+Result<AssessmentResult> ActiveLearner::Run(LabelOracle* oracle, Rng* rng) {
+  if (oracle == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("oracle and rng are required");
+  }
+  AssessmentResult result;
+  result.pools_total = learners_.size();
+
+  double rounds_sum = 0.0;
+  for (size_t li = 0; li < learners_.size(); ++li) {
+    PoolLearner& learner = learners_[li];
+    SIGHT_ASSIGN_OR_RETURN(std::vector<RoundRecord> records,
+                           learner.RunToCompletion(oracle, rng));
+    for (RoundRecord& record : records) {
+      record.pool_index = pool_of_learner_[li];
+      result.rounds.push_back(record);
+    }
+    rounds_sum += static_cast<double>(learner.rounds_run());
+    result.total_queries += learner.num_queries();
+    result.validation_matches += learner.validation_matches();
+    result.validation_total += learner.validation_total();
+    switch (learner.outcome()) {
+      case PoolOutcome::kConverged:
+        ++result.pools_converged;
+        break;
+      case PoolOutcome::kExhausted:
+        ++result.pools_exhausted;
+        break;
+      case PoolOutcome::kRoundLimit:
+        ++result.pools_round_limit;
+        break;
+    }
+
+    const auto& members = learner.members();
+    for (size_t i = 0; i < members.size(); ++i) {
+      StrangerAssessment sa;
+      sa.stranger = members[i];
+      sa.pool_index = pool_of_learner_[li];
+      sa.predicted_score = learner.predictions()[i];
+      sa.predicted_label = learner.PredictedLabel(i);
+      sa.owner_labeled = learner.IsOwnerLabeled(i);
+      result.strangers.push_back(sa);
+    }
+  }
+  if (!learners_.empty()) {
+    result.mean_rounds = rounds_sum / static_cast<double>(learners_.size());
+  }
+
+  // Attach NS/benefit using the stranger list order.
+  std::unordered_map<UserId, size_t> position;
+  position.reserve(strangers_.size());
+  for (size_t i = 0; i < strangers_.size(); ++i) position[strangers_[i]] = i;
+  for (StrangerAssessment& sa : result.strangers) {
+    auto it = position.find(sa.stranger);
+    if (it != position.end()) {
+      sa.network_similarity = network_similarities_[it->second];
+      sa.benefit = benefits_[it->second];
+    }
+  }
+  return result;
+}
+
+}  // namespace sight

@@ -1,0 +1,254 @@
+// The paper's active risk-learning process (Section III, Figure 1).
+//
+// For every pool of strangers, rounds of (sample -> owner labels ->
+// classifier prediction) run until the stopping condition of Section III-D
+// holds:
+//
+//   * accuracy  — Definition 4: the RMSE between the labels predicted in
+//     round i and the owner labels collected for the same strangers in
+//     round i+1 is below a threshold (paper: 0.5);
+//   * stability — Definition 5: no stranger's predicted label moved by at
+//     least the confidence-derived tolerance for n consecutive rounds
+//     (paper: n=2).
+//
+// On the Definition 5 tolerance: the paper prints
+// (Lmax - Lmin) * 100 / (100 - c), which for c=80 yields 10 — a change no
+// 3-level label can reach, and under which c=100 ("label everything
+// manually") would stop immediately, contradicting the text. We implement
+// the evidently intended (Lmax - Lmin) * (100 - c) / 100: c=80 gives a 0.4
+// tolerance on the continuous scores, and c=100 gives 0, which never
+// stabilizes — exactly the "owner labels all strangers" behaviour the
+// paper describes.
+
+#ifndef SIGHT_CORE_ACTIVE_LEARNER_H_
+#define SIGHT_CORE_ACTIVE_LEARNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pool_builder.h"
+#include "core/risk_label.h"
+#include "graph/profile.h"
+#include "graph/types.h"
+#include "learning/classifier.h"
+#include "learning/sampling.h"
+#include "learning/similarity_matrix.h"
+#include "similarity/profile_similarity.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// The annotator of the active-learning loop — in production the human
+/// owner behind the Sight UI, in experiments a simulated OwnerModel.
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+
+  /// The owner's answer to the paper's Section III-A question for
+  /// `stranger`, who is `similarity`/1.0 similar and provides
+  /// `benefit`/1.0 benefits (the two values the UI displays).
+  virtual RiskLabel QueryLabel(UserId stranger, double similarity,
+                               double benefit) = 0;
+};
+
+struct ActiveLearnerConfig {
+  /// Strangers queried per pool per round (paper: 3).
+  size_t labels_per_round = 3;
+  /// Definition 4 stop threshold (paper: 0.5).
+  double rmse_threshold = 0.5;
+  /// Owner confidence c in [0, 100] (paper's owners averaged 78.39).
+  double confidence = 80.0;
+  /// Rounds without classification change required to stop (paper: 2).
+  size_t stable_rounds = 2;
+  /// Hard safety bound per pool.
+  size_t max_rounds = 64;
+  /// Keep only the top-k profile-similarity edges per pool member when
+  /// building the classifier graph; 0 = dense.
+  size_t sparsify_top_k = 0;
+
+  Status Validate() const;
+
+  /// Definition 5 tolerance derived from `confidence`.
+  double StabilizationTolerance() const {
+    return static_cast<double>(kRiskLabelMax - kRiskLabelMin) *
+           (100.0 - confidence) / 100.0;
+  }
+};
+
+/// What happened in one labeling round of one pool.
+struct RoundRecord {
+  size_t pool_index = 0;
+  /// 1-based round number within the pool.
+  size_t round = 0;
+  size_t newly_labeled = 0;
+  /// Definition 4 RMSE for this round; valid from round 2 (there must be a
+  /// previous prediction to validate).
+  bool rmse_valid = false;
+  double rmse = 0.0;
+  /// Strangers whose continuous prediction moved >= tolerance.
+  size_t unstabilized = 0;
+  bool stabilized = false;
+};
+
+enum class PoolOutcome : uint8_t {
+  /// Stopping condition met (accuracy + stability).
+  kConverged,
+  /// Every member was owner-labeled before convergence.
+  kExhausted,
+  /// max_rounds hit first.
+  kRoundLimit,
+};
+
+/// Active learning over a single pool.
+///
+/// The pool's classifier graph is the profile-similarity matrix over its
+/// members (the paper's adaptation of Zhu's classifier to categorical
+/// data).
+class PoolLearner {
+ public:
+  /// Owner labels carried over from a previous assessment (incremental
+  /// flow): stranger id -> numeric label value.
+  using KnownLabels = std::unordered_map<UserId, double>;
+
+  /// `display_similarity` / `display_benefit` are parallel to
+  /// `pool.members` and are surfaced to the oracle with each query.
+  /// Members found in `known_labels` start out owner-labeled, so the
+  /// oracle is never asked about them again.
+  static Result<PoolLearner> Create(const StrangerPool& pool,
+                                    SimilarityMatrix weights,
+                                    std::vector<double> display_similarity,
+                                    std::vector<double> display_benefit,
+                                    const ActiveLearnerConfig& config,
+                                    const GraphClassifier* classifier,
+                                    const Sampler* sampler,
+                                    const KnownLabels* known_labels = nullptr);
+
+  /// Runs one round; no-op error if already finished.
+  Result<RoundRecord> RunRound(LabelOracle* oracle, Rng* rng);
+
+  /// Runs rounds until the pool finishes; returns all round records.
+  Result<std::vector<RoundRecord>> RunToCompletion(LabelOracle* oracle,
+                                                   Rng* rng);
+
+  bool finished() const { return finished_; }
+  PoolOutcome outcome() const { return outcome_; }
+  size_t rounds_run() const { return rounds_run_; }
+  /// Fresh oracle queries this learner issued (carried-over labels from
+  /// `known_labels` are not re-counted).
+  size_t num_queries() const { return labeled_.size() - seeded_count_; }
+
+  const std::vector<UserId>& members() const { return members_; }
+
+  /// Continuous scores, one per member (label values after exhaustion).
+  const std::vector<double>& predictions() const { return predictions_; }
+
+  /// Rounded predicted label of member `i` (the owner's label when given).
+  RiskLabel PredictedLabel(size_t i) const;
+
+  /// True when member i was labeled by the owner.
+  bool IsOwnerLabeled(size_t i) const { return is_labeled_[i]; }
+
+  /// During validation queries, number of previously-predicted labels that
+  /// exactly matched the owner's label / total validated.
+  size_t validation_matches() const { return validation_matches_; }
+  size_t validation_total() const { return validation_total_; }
+
+ private:
+  PoolLearner(const StrangerPool& pool, SimilarityMatrix weights,
+              std::vector<double> display_similarity,
+              std::vector<double> display_benefit,
+              const ActiveLearnerConfig& config,
+              const GraphClassifier* classifier, const Sampler* sampler);
+
+  Status Repredict();
+
+  std::vector<UserId> members_;
+  SimilarityMatrix weights_;
+  std::vector<double> display_similarity_;
+  std::vector<double> display_benefit_;
+  ActiveLearnerConfig config_;
+  const GraphClassifier* classifier_;
+  const Sampler* sampler_;
+
+  LabeledSet labeled_;
+  size_t seeded_count_ = 0;
+  std::vector<bool> is_labeled_;
+  std::vector<double> predictions_;
+  bool has_predictions_ = false;
+
+  size_t rounds_run_ = 0;
+  size_t consecutive_stable_ = 0;
+  bool last_rmse_valid_ = false;
+  double last_rmse_ = 0.0;
+  bool finished_ = false;
+  PoolOutcome outcome_ = PoolOutcome::kRoundLimit;
+
+  size_t validation_matches_ = 0;
+  size_t validation_total_ = 0;
+};
+
+/// Per-stranger outcome of a full assessment.
+struct StrangerAssessment {
+  UserId stranger = kInvalidUser;
+  double network_similarity = 0.0;
+  double benefit = 0.0;
+  size_t pool_index = 0;
+  double predicted_score = 0.0;
+  RiskLabel predicted_label = RiskLabel::kNotRisky;
+  bool owner_labeled = false;
+};
+
+/// Aggregate result of running the learner over every pool of an owner.
+struct AssessmentResult {
+  std::vector<StrangerAssessment> strangers;
+  std::vector<RoundRecord> rounds;
+  size_t total_queries = 0;
+  size_t pools_total = 0;
+  size_t pools_converged = 0;
+  size_t pools_exhausted = 0;
+  size_t pools_round_limit = 0;
+  /// Mean rounds per pool until it finished.
+  double mean_rounds = 0.0;
+  /// Exact-match validation across pools (the paper's 83.36% metric).
+  size_t validation_matches = 0;
+  size_t validation_total = 0;
+
+  double ValidationAccuracy() const {
+    return validation_total == 0
+               ? 0.0
+               : static_cast<double>(validation_matches) /
+                     static_cast<double>(validation_total);
+  }
+};
+
+/// Orchestrates PoolLearners over a PoolSet.
+class ActiveLearner {
+ public:
+  /// `display_benefits` is parallel to `pools.strangers`.
+  /// `classifier` and `sampler` must outlive the learner. Strangers found
+  /// in `known_labels` (optional) start out labeled in their pools.
+  static Result<ActiveLearner> Create(
+      const PoolSet& pools, const ProfileTable& profiles,
+      std::vector<double> display_benefits, ActiveLearnerConfig config,
+      const GraphClassifier* classifier, const Sampler* sampler,
+      const PoolLearner::KnownLabels* known_labels = nullptr);
+
+  /// Runs every pool to completion.
+  Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);
+
+ private:
+  ActiveLearner() = default;
+
+  std::vector<PoolLearner> learners_;
+  std::vector<size_t> pool_of_learner_;
+  // Parallel to the PoolSet's stranger list.
+  std::vector<UserId> strangers_;
+  std::vector<double> network_similarities_;
+  std::vector<double> benefits_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_ACTIVE_LEARNER_H_

@@ -1,0 +1,107 @@
+#include "core/attribute_importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "learning/info_gain.h"
+#include "util/string_util.h"
+
+namespace sight {
+namespace {
+
+Status CheckParallel(size_t strangers, size_t labels) {
+  if (strangers != labels) {
+    return Status::InvalidArgument(
+        StrFormat("strangers/labels size mismatch: %zu vs %zu", strangers,
+                  labels));
+  }
+  if (strangers == 0) {
+    return Status::InvalidArgument("no labeled strangers");
+  }
+  return Status::OK();
+}
+
+// Normalizes raw gain ratios into importances (Definition 6); all-zero
+// IGRs degrade to a uniform distribution.
+std::vector<AttributeImportance> Normalize(
+    std::vector<std::string> names, const std::vector<double>& ratios) {
+  double total = std::accumulate(ratios.begin(), ratios.end(), 0.0);
+  std::vector<AttributeImportance> result(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    result[i].name = std::move(names[i]);
+    result[i].gain_ratio = ratios[i];
+    result[i].importance = total > 0.0
+                               ? ratios[i] / total
+                               : 1.0 / static_cast<double>(ratios.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<AttributeImportance>> ProfileAttributeImportance(
+    const ProfileTable& profiles, const std::vector<UserId>& strangers,
+    const std::vector<RiskLabel>& labels) {
+  SIGHT_RETURN_NOT_OK(CheckParallel(strangers.size(), labels.size()));
+
+  std::vector<int> label_values;
+  label_values.reserve(labels.size());
+  for (RiskLabel l : labels) label_values.push_back(static_cast<int>(l));
+
+  const ProfileSchema& schema = profiles.schema();
+  std::vector<std::string> names;
+  std::vector<double> ratios;
+  std::vector<std::string> column;
+  column.reserve(strangers.size());
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    column.clear();
+    for (UserId s : strangers) column.push_back(profiles.Value(s, a));
+    SIGHT_ASSIGN_OR_RETURN(double igr,
+                           CorrectedGainRatio(column, label_values));
+    names.push_back(schema.name(a));
+    ratios.push_back(igr);
+  }
+  return Normalize(std::move(names), ratios);
+}
+
+Result<std::vector<AttributeImportance>> BenefitItemImportance(
+    const VisibilityTable& visibility, const std::vector<UserId>& strangers,
+    const std::vector<RiskLabel>& labels) {
+  SIGHT_RETURN_NOT_OK(CheckParallel(strangers.size(), labels.size()));
+
+  std::vector<int> label_values;
+  label_values.reserve(labels.size());
+  for (RiskLabel l : labels) label_values.push_back(static_cast<int>(l));
+
+  std::vector<std::string> names;
+  std::vector<double> ratios;
+  std::vector<std::string> column;
+  column.reserve(strangers.size());
+  for (ProfileItem item : kAllProfileItems) {
+    column.clear();
+    for (UserId s : strangers) {
+      column.push_back(visibility.IsVisible(s, item) ? "1" : "0");
+    }
+    SIGHT_ASSIGN_OR_RETURN(double igr,
+                           CorrectedGainRatio(column, label_values));
+    names.push_back(ProfileItemName(item));
+    ratios.push_back(igr);
+  }
+  return Normalize(std::move(names), ratios);
+}
+
+std::vector<size_t> ImportanceRanks(
+    const std::vector<AttributeImportance>& importances) {
+  std::vector<size_t> order(importances.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return importances[a].importance > importances[b].importance;
+  });
+  std::vector<size_t> ranks(importances.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    ranks[order[rank]] = rank;
+  }
+  return ranks;
+}
+
+}  // namespace sight

@@ -1,0 +1,48 @@
+// Friendship suggestion from risk labels (the paper's Section VI
+// "privacy settings/friendships suggestion" direction).
+//
+// Among the strangers an assessment judged *not risky*, ranks candidates
+// by affinity — a convex mix of network similarity (homophily: people you
+// are likely to actually know) and benefit (heterophily: people whose
+// profiles offer you the most new information).
+
+#ifndef SIGHT_CORE_FRIEND_SUGGESTION_H_
+#define SIGHT_CORE_FRIEND_SUGGESTION_H_
+
+#include <vector>
+
+#include "core/active_learner.h"
+#include "core/risk_label.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sight {
+
+struct FriendSuggestion {
+  UserId stranger = kInvalidUser;
+  /// ns_weight * NS + (1 - ns_weight) * benefit, in [0, 1].
+  double affinity = 0.0;
+  double network_similarity = 0.0;
+  double benefit = 0.0;
+};
+
+struct FriendSuggestionConfig {
+  /// Candidates returned (at most).
+  size_t max_suggestions = 10;
+  /// Weight of network similarity in the affinity mix; benefit gets the
+  /// complement. Must be in [0, 1].
+  double ns_weight = 0.7;
+  /// Only strangers with at most this risk label are candidates
+  /// (default: strictly not-risky).
+  RiskLabel max_label = RiskLabel::kNotRisky;
+};
+
+/// Ranks candidate friends from an assessment, best first. Ties broken by
+/// stranger id for determinism. Errors on invalid config.
+Result<std::vector<FriendSuggestion>> SuggestFriends(
+    const AssessmentResult& assessment,
+    const FriendSuggestionConfig& config = {});
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_FRIEND_SUGGESTION_H_

@@ -1,0 +1,89 @@
+// Label-based access control and privacy-setting suggestions — the
+// paper's Section VI application directions ("a variety of applications
+// for our risk labels ... such as privacy settings/friendships suggestion
+// or label-based access control").
+//
+// LabelAccessPolicy maps a stranger's risk label to the set of profile
+// items that stranger may access; SuggestPrivacySettings turns an
+// assessment into concrete hide/keep advice for the owner's own items.
+
+#ifndef SIGHT_CORE_LABEL_POLICY_H_
+#define SIGHT_CORE_LABEL_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/active_learner.h"
+#include "core/risk_label.h"
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// Per-risk-label item access rules.
+class LabelAccessPolicy {
+ public:
+  /// Everything hidden for every label.
+  LabelAccessPolicy() = default;
+
+  /// A sensible default: not-risky strangers see everything; risky
+  /// strangers see only the low-sensitivity items (photo, hometown,
+  /// location); very risky strangers see nothing.
+  static LabelAccessPolicy Default();
+
+  void Allow(RiskLabel label, ProfileItem item, bool allowed = true);
+
+  bool IsAllowed(RiskLabel label, ProfileItem item) const;
+
+  /// 7-bit mask of items visible to strangers with `label`.
+  uint8_t AllowedMask(RiskLabel label) const;
+
+  /// A policy is monotone when lower-risk labels see a superset of what
+  /// higher-risk labels see. Default() is monotone; custom policies can
+  /// be checked before deployment.
+  bool IsMonotone() const;
+
+ private:
+  size_t IndexOf(RiskLabel label) const {
+    return static_cast<size_t>(static_cast<int>(label) - kRiskLabelMin);
+  }
+
+  std::array<uint8_t, 3> masks_{};  // indexed by label - 1
+};
+
+/// Applies a policy to an assessment: for every assessed stranger, the
+/// items that stranger may access under `policy`.
+struct StrangerAccess {
+  UserId stranger = kInvalidUser;
+  RiskLabel label = RiskLabel::kVeryRisky;
+  uint8_t allowed_mask = 0;
+};
+
+std::vector<StrangerAccess> ApplyAccessPolicy(
+    const AssessmentResult& assessment, const LabelAccessPolicy& policy);
+
+/// Privacy-setting advice for one of the owner's items.
+struct PrivacySuggestion {
+  ProfileItem item = ProfileItem::kWall;
+  /// Is the owner currently exposing this item (to strangers)?
+  bool currently_visible = false;
+  /// Fraction of assessed strangers judged risky or very risky.
+  double risky_fraction = 0.0;
+  /// Hide this currently-visible item: too much of the audience is risky.
+  bool recommend_hide = false;
+};
+
+/// Suggests hiding the owner's visible items when at least
+/// `risky_fraction_threshold` of the assessed strangers are risky or very
+/// risky (all items share the audience, so the fraction is per-owner, and
+/// the recommendation applies to each visible item). Errors when the
+/// assessment is empty.
+Result<std::vector<PrivacySuggestion>> SuggestPrivacySettings(
+    const AssessmentResult& assessment, const VisibilityTable& visibility,
+    UserId owner, double risky_fraction_threshold = 0.25);
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_LABEL_POLICY_H_

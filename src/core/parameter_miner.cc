@@ -1,0 +1,36 @@
+#include "core/parameter_miner.h"
+
+#include "core/attribute_importance.h"
+
+namespace sight {
+
+Result<std::vector<double>> MineAttributeWeights(
+    const ProfileTable& profiles, const std::vector<UserId>& strangers,
+    const std::vector<RiskLabel>& labels) {
+  SIGHT_ASSIGN_OR_RETURN(
+      std::vector<AttributeImportance> importances,
+      ProfileAttributeImportance(profiles, strangers, labels));
+  std::vector<double> weights;
+  weights.reserve(importances.size());
+  for (const AttributeImportance& ai : importances) {
+    weights.push_back(ai.importance);
+  }
+  return weights;
+}
+
+Result<ThetaWeights> MineThetaWeights(const VisibilityTable& visibility,
+                                      const std::vector<UserId>& strangers,
+                                      const std::vector<RiskLabel>& labels) {
+  SIGHT_ASSIGN_OR_RETURN(std::vector<AttributeImportance> importances,
+                         BenefitItemImportance(visibility, strangers, labels));
+  ThetaWeights theta;
+  // BenefitItemImportance iterates kAllProfileItems in order, so
+  // importances are item-aligned.
+  for (size_t i = 0; i < kNumProfileItems; ++i) {
+    theta.values[i] = importances[i].importance;
+  }
+  SIGHT_RETURN_NOT_OK(theta.Validate());
+  return theta;
+}
+
+}  // namespace sight

@@ -1,0 +1,40 @@
+// Parameter mining (the paper's Section VI future-work direction: "mine
+// from the data most of the values for the parameters on which our
+// learning process relies").
+//
+// Given an owner's labeled strangers, suggests:
+//   * Squeezer attribute weights — the Definition 6 importances of the
+//     profile attributes (attributes that explain the owner's labels
+//     should drive the profile clustering);
+//   * theta benefit weights — the Definition 6 importances of the benefit
+//     items (the paper's Table II/III discussion notes that "for some
+//     benefit items it is better to use system suggested weights").
+
+#ifndef SIGHT_CORE_PARAMETER_MINER_H_
+#define SIGHT_CORE_PARAMETER_MINER_H_
+
+#include <vector>
+
+#include "core/benefit.h"
+#include "core/risk_label.h"
+#include "graph/profile.h"
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// Suggested Squeezer attribute weights, aligned with the schema;
+/// normalized to sum 1.
+Result<std::vector<double>> MineAttributeWeights(
+    const ProfileTable& profiles, const std::vector<UserId>& strangers,
+    const std::vector<RiskLabel>& labels);
+
+/// Suggested theta weights from mined benefit-item importance.
+Result<ThetaWeights> MineThetaWeights(const VisibilityTable& visibility,
+                                      const std::vector<UserId>& strangers,
+                                      const std::vector<RiskLabel>& labels);
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_PARAMETER_MINER_H_

@@ -1,0 +1,77 @@
+#include "core/pool_builder.h"
+
+#include "graph/algorithms.h"
+#include "util/string_util.h"
+
+namespace sight {
+
+Result<PoolBuilder> PoolBuilder::Create(PoolBuilderConfig config) {
+  if (config.alpha == 0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  if (config.beta < 0.0 || config.beta > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("beta %f not in [0, 1]", config.beta));
+  }
+  SIGHT_RETURN_NOT_OK(config.ns_config.Validate());
+  return PoolBuilder(std::move(config));
+}
+
+Result<PoolSet> PoolBuilder::Build(const SocialGraph& graph,
+                                   const ProfileTable& profiles,
+                                   UserId owner) const {
+  SIGHT_ASSIGN_OR_RETURN(std::vector<UserId> strangers,
+                         TwoHopStrangers(graph, owner));
+  return BuildForStrangers(graph, profiles, owner, std::move(strangers));
+}
+
+Result<PoolSet> PoolBuilder::BuildForStrangers(
+    const SocialGraph& graph, const ProfileTable& profiles, UserId owner,
+    std::vector<UserId> strangers) const {
+  PoolSet result;
+  result.strangers = std::move(strangers);
+
+  SIGHT_ASSIGN_OR_RETURN(NetworkSimilarity ns,
+                         NetworkSimilarity::Create(config_.ns_config));
+  result.network_similarities =
+      ns.ComputeBatch(graph, owner, result.strangers);
+
+  SIGHT_ASSIGN_OR_RETURN(
+      NetworkSimilarityGroups nsg,
+      NetworkSimilarityGroups::Build(config_.alpha, result.strangers,
+                                     result.network_similarities));
+
+  if (config_.strategy == PoolStrategy::kNetworkOnly) {
+    for (size_t x = 0; x < nsg.alpha(); ++x) {
+      if (nsg.group(x).empty()) continue;
+      StrangerPool pool;
+      pool.members = nsg.group(x);
+      pool.nsg_index = x;
+      pool.cluster_index = 0;
+      result.pools.push_back(std::move(pool));
+    }
+    return result;
+  }
+
+  SqueezerConfig sq_config;
+  sq_config.threshold = config_.beta;
+  sq_config.weights = config_.attribute_weights;
+  SIGHT_ASSIGN_OR_RETURN(Squeezer squeezer,
+                         Squeezer::Create(profiles.schema(), sq_config));
+
+  for (size_t x = 0; x < nsg.alpha(); ++x) {
+    if (nsg.group(x).empty()) continue;
+    SIGHT_ASSIGN_OR_RETURN(Clustering clustering,
+                           squeezer.Cluster(profiles, nsg.group(x)));
+    for (size_t c = 0; c < clustering.num_clusters(); ++c) {
+      StrangerPool pool;
+      pool.members = clustering.clusters[c];
+      pool.nsg_index = x;
+      pool.cluster_index = c;
+      result.pools.push_back(std::move(pool));
+    }
+  }
+  return result;
+}
+
+}  // namespace sight

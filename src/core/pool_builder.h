@@ -1,0 +1,92 @@
+// Network and profile based pools (the paper's Definition 3).
+//
+// Pools are the sampling units of the active learner. The paper builds
+// them in two levels: Definition 1 partitions strangers into alpha network
+// similarity groups (NSG); within each group, Squeezer (Definition 2, with
+// threshold beta) splits strangers by profile similarity. The union of all
+// profile clusters over all groups is the pool set P_st ("NPP"). The
+// evaluation also uses the NSG-only pools ("NSP") as the comparison point
+// of Figs. 5-6.
+
+#ifndef SIGHT_CORE_POOL_BUILDER_H_
+#define SIGHT_CORE_POOL_BUILDER_H_
+
+#include <vector>
+
+#include "clustering/squeezer.h"
+#include "core/nsg.h"
+#include "graph/profile.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+#include "similarity/network_similarity.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// One disjoint pool of strangers.
+struct StrangerPool {
+  std::vector<UserId> members;
+  /// Which network similarity group the pool came from.
+  size_t nsg_index = 0;
+  /// Profile-cluster index within the group (0 for NSG-only pools).
+  size_t cluster_index = 0;
+};
+
+/// The pool set for one owner plus the data used to derive it.
+struct PoolSet {
+  std::vector<StrangerPool> pools;
+  /// All strangers, in TwoHopStrangers order.
+  std::vector<UserId> strangers;
+  /// NS(owner, s) parallel to `strangers`.
+  std::vector<double> network_similarities;
+
+  size_t TotalStrangers() const { return strangers.size(); }
+};
+
+enum class PoolStrategy {
+  /// Definition 3: NSG x Squeezer (the paper's proposal).
+  kNetworkAndProfile,
+  /// NSG only (the paper's comparison baseline of Figs. 5-6).
+  kNetworkOnly,
+};
+
+struct PoolBuilderConfig {
+  /// Number of network similarity groups (paper: 10).
+  size_t alpha = 10;
+  /// Squeezer new-cluster threshold (paper: 0.4).
+  double beta = 0.4;
+  /// Attribute weights for Squeezer; empty = uniform.
+  std::vector<double> attribute_weights;
+  NetworkSimilarityConfig ns_config;
+  PoolStrategy strategy = PoolStrategy::kNetworkAndProfile;
+};
+
+/// Builds the Definition 3 pool set for an owner.
+class PoolBuilder {
+ public:
+  static Result<PoolBuilder> Create(PoolBuilderConfig config);
+
+  /// Enumerates the owner's strangers, computes NS, groups them, and
+  /// (for kNetworkAndProfile) clusters each group with Squeezer. Pools are
+  /// disjoint and cover every stranger.
+  Result<PoolSet> Build(const SocialGraph& graph, const ProfileTable& profiles,
+                        UserId owner) const;
+
+  /// Same, but over a caller-provided stranger set (used by the
+  /// incremental crawler flow where discovery is partial).
+  Result<PoolSet> BuildForStrangers(const SocialGraph& graph,
+                                    const ProfileTable& profiles, UserId owner,
+                                    std::vector<UserId> strangers) const;
+
+  const PoolBuilderConfig& config() const { return config_; }
+
+ private:
+  explicit PoolBuilder(PoolBuilderConfig config)
+      : config_(std::move(config)) {}
+
+  PoolBuilderConfig config_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_POOL_BUILDER_H_

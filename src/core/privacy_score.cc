@@ -1,0 +1,51 @@
+#include "core/privacy_score.h"
+
+namespace sight {
+
+double PrivacyScoreModel::Score(const VisibilityTable& visibility,
+                                UserId user) const {
+  double score = 0.0;
+  for (size_t i = 0; i < kNumProfileItems; ++i) {
+    if (visibility.IsVisible(user, kAllProfileItems[i])) {
+      score += sensitivity[i];
+    }
+  }
+  return score;
+}
+
+double PrivacyScoreModel::MaxScore() const {
+  double total = 0.0;
+  for (double s : sensitivity) total += s;
+  return total;
+}
+
+Result<PrivacyScoreModel> FitPrivacyScoreModel(
+    const VisibilityTable& visibility,
+    const std::vector<UserId>& population) {
+  if (population.empty()) {
+    return Status::InvalidArgument("population is empty");
+  }
+  PrivacyScoreModel model;
+  model.population = population.size();
+  for (size_t i = 0; i < kNumProfileItems; ++i) {
+    size_t revealing = 0;
+    for (UserId u : population) {
+      if (visibility.IsVisible(u, kAllProfileItems[i])) ++revealing;
+    }
+    model.sensitivity[i] =
+        1.0 - static_cast<double>(revealing) /
+                  static_cast<double>(population.size());
+  }
+  return model;
+}
+
+std::vector<double> ComputePrivacyScores(const PrivacyScoreModel& model,
+                                         const VisibilityTable& visibility,
+                                         const std::vector<UserId>& users) {
+  std::vector<double> scores;
+  scores.reserve(users.size());
+  for (UserId u : users) scores.push_back(model.Score(visibility, u));
+  return scores;
+}
+
+}  // namespace sight

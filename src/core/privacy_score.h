@@ -1,0 +1,52 @@
+// Liu-Terzi-style privacy score (the related-work contrast of Section V).
+//
+// Liu & Terzi (ICDM 2009) score a user's *own* exposure: the privacy risk
+// of user j is sum_i beta_i * V(i, j), where beta_i is the sensitivity of
+// item i and V(i, j) its visibility. This is the "one number for how much
+// you reveal" view the paper contrasts with its stranger-focused,
+// owner-subjective risk labels. We implement the naive (non-IRT) variant:
+// an item's sensitivity is the fraction of the population that hides it —
+// the fewer people share an item, the more sensitive revealing it is.
+//
+// Included as a substrate for audits and comparisons (see the
+// privacy_audit example), not as part of the stranger-risk pipeline.
+
+#ifndef SIGHT_CORE_PRIVACY_SCORE_H_
+#define SIGHT_CORE_PRIVACY_SCORE_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "util/status.h"
+
+namespace sight {
+
+struct PrivacyScoreModel {
+  /// Sensitivity beta_i in [0, 1] per item (1 = nobody reveals it).
+  std::array<double, kNumProfileItems> sensitivity{};
+  /// Population the sensitivities were estimated from.
+  size_t population = 0;
+
+  /// Privacy score of one user under this model: sum over visible items
+  /// of their sensitivity. Higher = more exposed.
+  double Score(const VisibilityTable& visibility, UserId user) const;
+
+  /// Maximum attainable score (all items visible).
+  double MaxScore() const;
+};
+
+/// Estimates item sensitivities from a population (the naive Liu-Terzi
+/// model). Errors on an empty population.
+Result<PrivacyScoreModel> FitPrivacyScoreModel(
+    const VisibilityTable& visibility, const std::vector<UserId>& population);
+
+/// Scores every user in `users` under `model`, in order.
+std::vector<double> ComputePrivacyScores(const PrivacyScoreModel& model,
+                                         const VisibilityTable& visibility,
+                                         const std::vector<UserId>& users);
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_PRIVACY_SCORE_H_

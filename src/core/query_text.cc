@@ -1,0 +1,29 @@
+#include "core/query_text.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sight {
+
+std::string FormatRiskQuestion(const std::string& stranger_name,
+                               double similarity, double benefit) {
+  int s = static_cast<int>(
+      std::lround(std::clamp(similarity, 0.0, 1.0) * 100.0));
+  int b = static_cast<int>(
+      std::lround(std::clamp(benefit, 0.0, 1.0) * 100.0));
+  return StrFormat(
+      "You and %s are %d/100 similar and he/she provides you %d/100 "
+      "benefits in terms of information you are allowed to see now on "
+      "his/her profile. Do you think it might be risky to establish a "
+      "relationship with %s? Please respond by considering how much you "
+      "are similar to %s and that, after you become friends of him/her, "
+      "benefits might increase as you might be allowed to see more "
+      "resources in addition to his/her profile, e.g., his/her posts, "
+      "photos, if privacy settings allow you.",
+      stranger_name.c_str(), s, b, stranger_name.c_str(),
+      stranger_name.c_str());
+}
+
+}  // namespace sight

@@ -1,0 +1,25 @@
+// The exact owner-facing risk question of Section III-A, for UI
+// integrators.
+
+#ifndef SIGHT_CORE_QUERY_TEXT_H_
+#define SIGHT_CORE_QUERY_TEXT_H_
+
+#include <string>
+
+namespace sight {
+
+/// Renders the paper's Section III-A question for a stranger whose
+/// displayed similarity and benefit values are in [0, 1]:
+///
+///   "You and <name> are <s>/100 similar and he/she provides you <b>/100
+///    benefits in terms of information you are allowed to see now on
+///    his/her profile. Do you think it might be risky to establish a
+///    relationship with <name>? ..."
+///
+/// Values are clamped to [0, 1] and shown as integers out of 100.
+std::string FormatRiskQuestion(const std::string& stranger_name,
+                               double similarity, double benefit);
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_QUERY_TEXT_H_

@@ -1,0 +1,102 @@
+#include "core/risk_engine.h"
+
+#include "graph/algorithms.h"
+
+namespace sight {
+
+RiskEngine::RiskEngine(RiskEngineConfig config)
+    : config_(std::move(config)) {}
+
+Result<RiskEngine> RiskEngine::Create(RiskEngineConfig config) {
+  SIGHT_RETURN_NOT_OK(config.learner.Validate());
+  SIGHT_RETURN_NOT_OK(config.theta.Validate());
+  RiskEngine engine(std::move(config));
+
+  switch (engine.config_.classifier) {
+    case ClassifierKind::kHarmonic: {
+      SIGHT_ASSIGN_OR_RETURN(
+          HarmonicFunctionClassifier harmonic,
+          HarmonicFunctionClassifier::Create(engine.config_.harmonic));
+      engine.classifier_ =
+          std::make_unique<HarmonicFunctionClassifier>(std::move(harmonic));
+      break;
+    }
+    case ClassifierKind::kHarmonicCmn: {
+      MulticlassHarmonicConfig mc_config;
+      mc_config.solver = engine.config_.harmonic;
+      mc_config.label_min = kRiskLabelMin;
+      mc_config.label_max = kRiskLabelMax;
+      SIGHT_ASSIGN_OR_RETURN(
+          MulticlassHarmonicClassifier multiclass,
+          MulticlassHarmonicClassifier::Create(mc_config));
+      engine.classifier_ = std::make_unique<MulticlassHarmonicClassifier>(
+          std::move(multiclass));
+      break;
+    }
+    case ClassifierKind::kKnn: {
+      SIGHT_ASSIGN_OR_RETURN(KnnClassifier knn,
+                             KnnClassifier::Create(engine.config_.knn_k));
+      engine.classifier_ = std::make_unique<KnnClassifier>(std::move(knn));
+      break;
+    }
+    case ClassifierKind::kMajority:
+      engine.classifier_ = std::make_unique<MajorityClassifier>();
+      break;
+  }
+
+  switch (engine.config_.sampler) {
+    case SamplerKind::kRandom:
+      engine.sampler_ = std::make_unique<RandomSampler>();
+      break;
+    case SamplerKind::kUncertainty:
+      engine.sampler_ = std::make_unique<UncertaintySampler>();
+      break;
+  }
+  return engine;
+}
+
+Result<RiskReport> RiskEngine::AssessOwner(const SocialGraph& graph,
+                                           const ProfileTable& profiles,
+                                           const VisibilityTable& visibility,
+                                           UserId owner, LabelOracle* oracle,
+                                           Rng* rng) const {
+  SIGHT_ASSIGN_OR_RETURN(std::vector<UserId> strangers,
+                         TwoHopStrangers(graph, owner));
+  return AssessStrangers(graph, profiles, visibility, owner,
+                         std::move(strangers), oracle, rng);
+}
+
+Result<RiskReport> RiskEngine::AssessStrangers(
+    const SocialGraph& graph, const ProfileTable& profiles,
+    const VisibilityTable& visibility, UserId owner,
+    std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
+    const PoolLearner::KnownLabels* known_labels) const {
+  SIGHT_ASSIGN_OR_RETURN(PoolBuilder builder,
+                         PoolBuilder::Create(config_.pools));
+  SIGHT_ASSIGN_OR_RETURN(
+      PoolSet pools,
+      builder.BuildForStrangers(graph, profiles, owner, std::move(strangers)));
+
+  SIGHT_ASSIGN_OR_RETURN(BenefitModel benefit,
+                         BenefitModel::Create(config_.theta));
+  std::vector<double> benefits =
+      benefit.ComputeBatch(visibility, pools.strangers);
+
+  SIGHT_ASSIGN_OR_RETURN(
+      ActiveLearner learner,
+      ActiveLearner::Create(pools, profiles, std::move(benefits),
+                            config_.learner, classifier_.get(),
+                            sampler_.get(), known_labels));
+
+  RiskReport report;
+  SIGHT_ASSIGN_OR_RETURN(report.assessment, learner.Run(oracle, rng));
+  report.num_strangers = pools.TotalStrangers();
+  report.num_pools = pools.pools.size();
+  report.pool_sizes.reserve(pools.pools.size());
+  for (const StrangerPool& pool : pools.pools) {
+    report.pool_sizes.push_back(pool.members.size());
+  }
+  return report;
+}
+
+}  // namespace sight

@@ -1,0 +1,115 @@
+// RiskEngine: the one-call public API of the Sight library.
+//
+// Wires together the full pipeline of the paper: two-hop stranger
+// enumeration -> network similarity -> Definition 1/3 pools -> benefit
+// computation -> active learning with a graph-based classifier -> a risk
+// label for every stranger of the owner.
+//
+//   RiskEngineConfig config;                    // paper defaults
+//   auto engine = RiskEngine::Create(config).value();
+//   auto report = engine.AssessOwner(graph, profiles, visibility,
+//                                    owner, &oracle, &rng).value();
+//   for (const auto& sa : report.assessment.strangers) { ... }
+
+#ifndef SIGHT_CORE_RISK_ENGINE_H_
+#define SIGHT_CORE_RISK_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/active_learner.h"
+#include "core/benefit.h"
+#include "core/pool_builder.h"
+#include "graph/profile.h"
+#include "graph/social_graph.h"
+#include "graph/visibility.h"
+#include "learning/baselines.h"
+#include "learning/harmonic.h"
+#include "learning/multiclass_harmonic.h"
+#include "learning/sampling.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight {
+
+enum class ClassifierKind {
+  /// Zhu et al. harmonic functions, ordinal embedding (the paper's
+  /// choice, compact form).
+  kHarmonic,
+  /// Zhu et al.'s full multiclass formulation with Class Mass
+  /// Normalization (one harmonic solve per risk class).
+  kHarmonicCmn,
+  /// Weighted kNN baseline.
+  kKnn,
+  /// Majority-label baseline.
+  kMajority,
+};
+
+enum class SamplerKind {
+  /// Uniform pool sampling (the paper's choice).
+  kRandom,
+  /// Maximum-ambiguity sampling (extension).
+  kUncertainty,
+};
+
+struct RiskEngineConfig {
+  PoolBuilderConfig pools;
+  ActiveLearnerConfig learner;
+  /// Owner-assigned benefit coefficients (paper Table III averages by
+  /// default).
+  ThetaWeights theta = ThetaWeights::PaperTable3();
+  ClassifierKind classifier = ClassifierKind::kHarmonic;
+  HarmonicConfig harmonic;
+  size_t knn_k = 5;
+  SamplerKind sampler = SamplerKind::kRandom;
+};
+
+/// Everything produced by one owner assessment.
+struct RiskReport {
+  AssessmentResult assessment;
+  /// Sizes of the pools the learner ran on.
+  std::vector<size_t> pool_sizes;
+  size_t num_strangers = 0;
+  size_t num_pools = 0;
+};
+
+class RiskEngine {
+ public:
+  /// Validates the configuration and instantiates classifier + sampler.
+  static Result<RiskEngine> Create(RiskEngineConfig config);
+
+  RiskEngine(RiskEngine&&) = default;
+  RiskEngine& operator=(RiskEngine&&) = default;
+
+  /// Runs the full pipeline for `owner`. The oracle is queried
+  /// labels_per_round strangers per pool per round until every pool meets
+  /// the Section III-D stopping condition.
+  Result<RiskReport> AssessOwner(const SocialGraph& graph,
+                                 const ProfileTable& profiles,
+                                 const VisibilityTable& visibility,
+                                 UserId owner, LabelOracle* oracle,
+                                 Rng* rng) const;
+
+  /// Variant over an explicit stranger set (incremental-crawler flow).
+  /// Strangers in `known_labels` (optional) start out owner-labeled; the
+  /// oracle is only queried for the rest. RiskSession manages that map
+  /// automatically.
+  Result<RiskReport> AssessStrangers(
+      const SocialGraph& graph, const ProfileTable& profiles,
+      const VisibilityTable& visibility, UserId owner,
+      std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
+      const PoolLearner::KnownLabels* known_labels = nullptr) const;
+
+  const RiskEngineConfig& config() const { return config_; }
+
+ private:
+  explicit RiskEngine(RiskEngineConfig config);
+
+  RiskEngineConfig config_;
+  std::unique_ptr<GraphClassifier> classifier_;
+  std::unique_ptr<Sampler> sampler_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_RISK_ENGINE_H_

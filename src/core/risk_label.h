@@ -1,0 +1,38 @@
+// The paper's three-level risk label scale (Section III-A).
+//
+// Owners answer risk queries on a deliberately coarse scale: not risky=1,
+// risky=2, very risky=3. RMSE over this range lies in [0, 2].
+
+#ifndef SIGHT_CORE_RISK_LABEL_H_
+#define SIGHT_CORE_RISK_LABEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sight {
+
+enum class RiskLabel : int {
+  kNotRisky = 1,
+  kRisky = 2,
+  kVeryRisky = 3,
+};
+
+inline constexpr int kRiskLabelMin = 1;
+inline constexpr int kRiskLabelMax = 3;
+
+/// Numeric value used by classifiers and RMSE.
+inline double RiskLabelValue(RiskLabel label) {
+  return static_cast<double>(static_cast<int>(label));
+}
+
+/// Clamped conversion from an integer in [1, 3].
+Result<RiskLabel> RiskLabelFromInt(int value);
+
+/// "not risky" / "risky" / "very risky".
+const char* RiskLabelName(RiskLabel label);
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_RISK_LABEL_H_

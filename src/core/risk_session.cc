@@ -1,0 +1,101 @@
+#include "core/risk_session.h"
+
+#include "graph/algorithms.h"
+#include "util/string_util.h"
+
+namespace sight {
+namespace {
+
+// Forwards queries to the user's oracle and records every answer into the
+// session's label store.
+class RecordingOracle : public LabelOracle {
+ public:
+  RecordingOracle(LabelOracle* inner, PoolLearner::KnownLabels* store)
+      : inner_(inner), store_(store) {}
+
+  RiskLabel QueryLabel(UserId stranger, double similarity,
+                       double benefit) override {
+    RiskLabel label = inner_->QueryLabel(stranger, similarity, benefit);
+    (*store_)[stranger] = RiskLabelValue(label);
+    return label;
+  }
+
+ private:
+  LabelOracle* inner_;
+  PoolLearner::KnownLabels* store_;
+};
+
+}  // namespace
+
+Result<RiskSession> RiskSession::Create(RiskEngineConfig config,
+                                        const SocialGraph* graph,
+                                        const ProfileTable* profiles,
+                                        const VisibilityTable* visibility,
+                                        UserId owner) {
+  if (graph == nullptr || profiles == nullptr || visibility == nullptr) {
+    return Status::InvalidArgument(
+        "graph, profiles and visibility are required");
+  }
+  if (!graph->HasUser(owner)) {
+    return Status::InvalidArgument(StrFormat("unknown owner %u", owner));
+  }
+  SIGHT_ASSIGN_OR_RETURN(RiskEngine engine,
+                         RiskEngine::Create(std::move(config)));
+  return RiskSession(std::move(engine), graph, profiles, visibility, owner);
+}
+
+Status RiskSession::AddStrangers(const std::vector<UserId>& discovered) {
+  for (UserId s : discovered) {
+    if (!graph_->HasUser(s)) {
+      return Status::InvalidArgument(
+          StrFormat("stranger %u is not a known user", s));
+    }
+    if (s == owner_) {
+      return Status::InvalidArgument("the owner is not a stranger");
+    }
+    if (discovered_.insert(s).second) {
+      strangers_.push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+Status RiskSession::DiscoverAllStrangers() {
+  SIGHT_ASSIGN_OR_RETURN(std::vector<UserId> all,
+                         TwoHopStrangers(*graph_, owner_));
+  return AddStrangers(all);
+}
+
+Status RiskSession::ImportLabels(const PoolLearner::KnownLabels& labels) {
+  // Validate everything before mutating any state.
+  std::vector<UserId> to_discover;
+  for (const auto& [stranger, value] : labels) {
+    if (value < kRiskLabelMin || value > kRiskLabelMax) {
+      return Status::OutOfRange(
+          StrFormat("label %f for stranger %u outside [%d, %d]", value,
+                    stranger, kRiskLabelMin, kRiskLabelMax));
+    }
+    if (!graph_->HasUser(stranger) || stranger == owner_) {
+      return Status::InvalidArgument(
+          StrFormat("labeled stranger %u is not a valid user", stranger));
+    }
+    if (discovered_.count(stranger) == 0) to_discover.push_back(stranger);
+  }
+  SIGHT_RETURN_NOT_OK(AddStrangers(to_discover));
+  for (const auto& [stranger, value] : labels) {
+    known_labels_[stranger] = value;
+  }
+  return Status::OK();
+}
+
+Result<RiskReport> RiskSession::Assess(LabelOracle* oracle, Rng* rng) {
+  if (oracle == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("oracle and rng are required");
+  }
+  RecordingOracle recording(oracle, &known_labels_);
+  return engine_.AssessStrangers(*graph_, *profiles_, *visibility_, owner_,
+                                 strangers_, &recording, rng,
+                                 &known_labels_);
+}
+
+}  // namespace sight

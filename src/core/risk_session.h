@@ -1,0 +1,99 @@
+// RiskSession: incremental risk assessment over a growing stranger set.
+//
+// The paper motivates active learning with the dynamic nature of the
+// owner's social graph: the Sight app discovers strangers over days, and
+// "it is not efficient to adopt a pre-defined and fixed training set.
+// Rather, it is preferable to select the training set on the fly so that
+// changes in the social graph are immediately reflected". RiskSession is
+// that flow as a first-class object:
+//
+//   RiskSession session = RiskSession::Create(config, &graph, &profiles,
+//                                             &visibility, owner).value();
+//   while (crawling) {
+//     session.AddStrangers(new_batch);
+//     auto report = session.Assess(&oracle, &rng).value();
+//   }
+//
+// Pools are rebuilt from scratch on every Assess (so new strangers and
+// changed similarities are reflected), but every owner answer ever given
+// is remembered and re-seeded into the rebuilt pools — the oracle is
+// never asked about the same stranger twice.
+
+#ifndef SIGHT_CORE_RISK_SESSION_H_
+#define SIGHT_CORE_RISK_SESSION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/active_learner.h"
+#include "core/risk_engine.h"
+#include "graph/profile.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight {
+
+class RiskSession {
+ public:
+  /// The graph/profile/visibility tables must outlive the session and may
+  /// grow between assessments (new users/edges are fine; the session only
+  /// reads them during Assess).
+  static Result<RiskSession> Create(RiskEngineConfig config,
+                                    const SocialGraph* graph,
+                                    const ProfileTable* profiles,
+                                    const VisibilityTable* visibility,
+                                    UserId owner);
+
+  RiskSession(RiskSession&&) = default;
+  RiskSession& operator=(RiskSession&&) = default;
+
+  /// Registers newly discovered strangers (duplicates are ignored).
+  /// Errors on unknown user ids or on the owner itself.
+  Status AddStrangers(const std::vector<UserId>& discovered);
+
+  /// Convenience: discover the owner's current full two-hop set.
+  Status DiscoverAllStrangers();
+
+  /// Runs the active-learning pipeline over everything discovered so far,
+  /// reusing every previously collected owner label. The report's
+  /// total_queries counts only *new* oracle questions.
+  Result<RiskReport> Assess(LabelOracle* oracle, Rng* rng);
+
+  size_t num_strangers() const { return strangers_.size(); }
+  size_t num_known_labels() const { return known_labels_.size(); }
+
+  /// All owner labels collected so far (stranger -> numeric label).
+  const PoolLearner::KnownLabels& known_labels() const {
+    return known_labels_;
+  }
+
+  /// Imports labels collected elsewhere (e.g. a previous process via
+  /// io/labels_io.h). Labeled strangers not yet discovered are also added
+  /// to the stranger set. Errors on out-of-range label values or unknown
+  /// users; on error nothing is imported.
+  Status ImportLabels(const PoolLearner::KnownLabels& labels);
+
+ private:
+  RiskSession(RiskEngine engine, const SocialGraph* graph,
+              const ProfileTable* profiles,
+              const VisibilityTable* visibility, UserId owner)
+      : engine_(std::move(engine)), graph_(graph), profiles_(profiles),
+        visibility_(visibility), owner_(owner) {}
+
+  RiskEngine engine_;
+  const SocialGraph* graph_;
+  const ProfileTable* profiles_;
+  const VisibilityTable* visibility_;
+  UserId owner_;
+
+  std::vector<UserId> strangers_;  // discovery order, duplicate-free
+  std::unordered_set<UserId> discovered_;
+  PoolLearner::KnownLabels known_labels_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_CORE_RISK_SESSION_H_

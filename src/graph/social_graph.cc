@@ -1,0 +1,97 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sight {
+namespace {
+
+// Inserts `value` into the sorted vector, keeping it sorted. Returns false
+// if already present.
+bool SortedInsert(std::vector<UserId>* v, UserId value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it != v->end() && *it == value) return false;
+  v->insert(it, value);
+  return true;
+}
+
+bool SortedContains(const std::vector<UserId>& v, UserId value) {
+  return std::binary_search(v.begin(), v.end(), value);
+}
+
+bool SortedErase(std::vector<UserId>* v, UserId value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it == v->end() || *it != value) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+UserId SocialGraph::AddUser() {
+  adjacency_.emplace_back();
+  return static_cast<UserId>(adjacency_.size() - 1);
+}
+
+UserId SocialGraph::AddUsers(size_t count) {
+  UserId first = static_cast<UserId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+Status SocialGraph::AddEdge(UserId a, UserId b) {
+  SIGHT_ASSIGN_OR_RETURN(bool inserted, AddEdgeIfAbsent(a, b));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("edge {%u, %u} already exists", a, b));
+  }
+  return Status::OK();
+}
+
+Result<bool> SocialGraph::AddEdgeIfAbsent(UserId a, UserId b) {
+  if (!HasUser(a) || !HasUser(b)) {
+    return Status::InvalidArgument(
+        StrFormat("edge {%u, %u} references unknown user", a, b));
+  }
+  if (a == b) {
+    return Status::InvalidArgument(StrFormat("self-loop on user %u", a));
+  }
+  if (!SortedInsert(&adjacency_[a], b)) return false;
+  SIGHT_CHECK(SortedInsert(&adjacency_[b], a));
+  ++num_edges_;
+  return true;
+}
+
+Status SocialGraph::RemoveEdge(UserId a, UserId b) {
+  if (!HasUser(a) || !HasUser(b) || a == b) {
+    return Status::InvalidArgument(
+        StrFormat("edge {%u, %u} is not a valid edge", a, b));
+  }
+  if (!SortedErase(&adjacency_[a], b)) {
+    return Status::NotFound(StrFormat("edge {%u, %u} not found", a, b));
+  }
+  SIGHT_CHECK(SortedErase(&adjacency_[b], a));
+  --num_edges_;
+  return Status::OK();
+}
+
+bool SocialGraph::HasEdge(UserId a, UserId b) const {
+  if (!HasUser(a) || !HasUser(b)) return false;
+  // Search the smaller adjacency list.
+  if (adjacency_[a].size() > adjacency_[b].size()) std::swap(a, b);
+  return SortedContains(adjacency_[a], b);
+}
+
+const std::vector<UserId>& SocialGraph::Neighbors(UserId u) const {
+  SIGHT_CHECK(HasUser(u));
+  return adjacency_[u];
+}
+
+size_t SocialGraph::Degree(UserId u) const {
+  SIGHT_CHECK(HasUser(u));
+  return adjacency_[u].size();
+}
+
+}  // namespace sight

@@ -1,0 +1,50 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/string_util.h"
+
+namespace sight {
+
+GraphStats ComputeGraphStats(const SocialGraph& graph) {
+  GraphStats stats;
+  stats.num_users = graph.NumUsers();
+  stats.num_edges = graph.NumEdges();
+  if (stats.num_users == 0) return stats;
+
+  std::vector<size_t> degrees = DegreeSequence(graph);
+  size_t degree_sum = 0;
+  for (size_t d : degrees) {
+    degree_sum += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_users;
+  }
+  stats.average_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(stats.num_users);
+
+  std::vector<size_t> sorted = degrees;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  stats.median_degree = sorted[sorted.size() / 2];
+
+  stats.average_clustering_coefficient =
+      AverageClusteringCoefficient(graph);
+  stats.connected_components = CountConnectedComponents(graph);
+  return stats;
+}
+
+std::string FormatGraphStats(const GraphStats& stats) {
+  return StrFormat(
+      "users: %zu\n"
+      "edges: %zu\n"
+      "average degree: %.2f (median %zu, max %zu)\n"
+      "isolated users: %zu\n"
+      "average clustering coefficient: %.3f\n"
+      "connected components: %zu\n",
+      stats.num_users, stats.num_edges, stats.average_degree,
+      stats.median_degree, stats.max_degree, stats.isolated_users,
+      stats.average_clustering_coefficient, stats.connected_components);
+}
+
+}  // namespace sight

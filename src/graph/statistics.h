@@ -1,0 +1,32 @@
+// Aggregate structural statistics of a social graph (for dataset
+// inspection, generator validation, and the CLI's `stats` command).
+
+#ifndef SIGHT_GRAPH_STATISTICS_H_
+#define SIGHT_GRAPH_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/social_graph.h"
+
+namespace sight {
+
+struct GraphStats {
+  size_t num_users = 0;
+  size_t num_edges = 0;
+  double average_degree = 0.0;
+  size_t max_degree = 0;
+  size_t median_degree = 0;
+  size_t isolated_users = 0;
+  double average_clustering_coefficient = 0.0;
+  size_t connected_components = 0;
+};
+
+GraphStats ComputeGraphStats(const SocialGraph& graph);
+
+/// Multi-line human-readable rendering.
+std::string FormatGraphStats(const GraphStats& stats);
+
+}  // namespace sight
+
+#endif  // SIGHT_GRAPH_STATISTICS_H_

@@ -1,0 +1,18 @@
+// Fundamental identifier types for the social-graph substrate.
+
+#ifndef SIGHT_GRAPH_TYPES_H_
+#define SIGHT_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sight {
+
+/// Dense user identifier: users are numbered 0..NumUsers()-1 by the graph.
+using UserId = uint32_t;
+
+inline constexpr UserId kInvalidUser = std::numeric_limits<UserId>::max();
+
+}  // namespace sight
+
+#endif  // SIGHT_GRAPH_TYPES_H_

@@ -1,0 +1,68 @@
+#include "graph/visibility.h"
+
+#include <bit>
+
+#include "util/string_util.h"
+
+namespace sight {
+
+const char* ProfileItemName(ProfileItem item) {
+  switch (item) {
+    case ProfileItem::kWall:
+      return "wall";
+    case ProfileItem::kPhoto:
+      return "photo";
+    case ProfileItem::kFriendList:
+      return "friend";
+    case ProfileItem::kLocation:
+      return "location";
+    case ProfileItem::kEducation:
+      return "education";
+    case ProfileItem::kWork:
+      return "work";
+    case ProfileItem::kHometown:
+      return "hometown";
+  }
+  return "unknown";
+}
+
+Result<ProfileItem> ProfileItemFromName(const std::string& name) {
+  for (ProfileItem item : kAllProfileItems) {
+    if (name == ProfileItemName(item)) return item;
+  }
+  return Status::NotFound(StrFormat("no profile item named '%s'",
+                                    name.c_str()));
+}
+
+void VisibilityTable::SetVisible(UserId user, ProfileItem item,
+                                 bool visible) {
+  if (user >= masks_.size()) masks_.resize(user + 1, 0);
+  uint8_t bit = static_cast<uint8_t>(1u << static_cast<uint8_t>(item));
+  if (visible) {
+    masks_[user] |= bit;
+  } else {
+    masks_[user] &= static_cast<uint8_t>(~bit);
+  }
+}
+
+bool VisibilityTable::IsVisible(UserId user, ProfileItem item) const {
+  if (user >= masks_.size()) return false;
+  return (masks_[user] >> static_cast<uint8_t>(item)) & 1u;
+}
+
+size_t VisibilityTable::VisibleCount(UserId user) const {
+  if (user >= masks_.size()) return 0;
+  return static_cast<size_t>(std::popcount(masks_[user]));
+}
+
+uint8_t VisibilityTable::Mask(UserId user) const {
+  if (user >= masks_.size()) return 0;
+  return masks_[user];
+}
+
+void VisibilityTable::SetMask(UserId user, uint8_t mask) {
+  if (user >= masks_.size()) masks_.resize(user + 1, 0);
+  masks_[user] = static_cast<uint8_t>(mask & 0x7f);
+}
+
+}  // namespace sight

@@ -1,0 +1,34 @@
+// Text serialization of SocialGraph.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   sight-graph v1
+//   <num_users> <num_edges>
+//   <a> <b>          # one undirected edge per line, any order
+//
+// The loader validates the header, user-id ranges, self-loops, duplicate
+// edges, and the edge count.
+
+#ifndef SIGHT_IO_GRAPH_IO_H_
+#define SIGHT_IO_GRAPH_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace sight::io {
+
+Status SaveGraph(const SocialGraph& graph, std::ostream* out);
+
+Result<SocialGraph> LoadGraph(std::istream* in);
+
+/// File-path conveniences.
+Status SaveGraphToFile(const SocialGraph& graph, const std::string& path);
+Result<SocialGraph> LoadGraphFromFile(const std::string& path);
+
+}  // namespace sight::io
+
+#endif  // SIGHT_IO_GRAPH_IO_H_

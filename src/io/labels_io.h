@@ -1,0 +1,30 @@
+// CSV persistence for collected owner labels, so an interrupted labeling
+// session (e.g. sight_cli assess --interactive) resumes where it stopped.
+//
+// Format: header `stranger,label`; label is the numeric value 1..3.
+
+#ifndef SIGHT_IO_LABELS_IO_H_
+#define SIGHT_IO_LABELS_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/active_learner.h"
+#include "util/status.h"
+
+namespace sight::io {
+
+Status SaveKnownLabels(const PoolLearner::KnownLabels& labels,
+                       std::ostream* out);
+
+Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in);
+
+Status SaveKnownLabelsToFile(const PoolLearner::KnownLabels& labels,
+                             const std::string& path);
+Result<PoolLearner::KnownLabels> LoadKnownLabelsFromFile(
+    const std::string& path);
+
+}  // namespace sight::io
+
+#endif  // SIGHT_IO_LABELS_IO_H_

@@ -1,0 +1,29 @@
+// CSV serialization of ProfileTable.
+//
+// Format: RFC 4180 CSV whose header is `user_id,<attr1>,<attr2>,...`
+// (the header defines the schema); one row per user with a profile.
+// Missing attribute values are empty fields.
+
+#ifndef SIGHT_IO_PROFILE_IO_H_
+#define SIGHT_IO_PROFILE_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/profile.h"
+#include "util/status.h"
+
+namespace sight::io {
+
+Status SaveProfiles(const ProfileTable& profiles, std::ostream* out);
+
+Result<ProfileTable> LoadProfiles(std::istream* in);
+
+Status SaveProfilesToFile(const ProfileTable& profiles,
+                          const std::string& path);
+Result<ProfileTable> LoadProfilesFromFile(const std::string& path);
+
+}  // namespace sight::io
+
+#endif  // SIGHT_IO_PROFILE_IO_H_

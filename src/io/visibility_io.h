@@ -1,0 +1,32 @@
+// CSV serialization of VisibilityTable.
+//
+// Format: header `user_id,wall,photo,friend,location,education,work,
+// hometown`; one row per user with at least one visible item; cells are
+// 0/1. Users absent from the file are all-hidden (the table's default).
+
+#ifndef SIGHT_IO_VISIBILITY_IO_H_
+#define SIGHT_IO_VISIBILITY_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "util/status.h"
+
+namespace sight::io {
+
+/// `user_id_bound` limits the save scan (use graph.NumUsers()).
+Status SaveVisibility(const VisibilityTable& visibility, UserId user_id_bound,
+                      std::ostream* out);
+
+Result<VisibilityTable> LoadVisibility(std::istream* in);
+
+Status SaveVisibilityToFile(const VisibilityTable& visibility,
+                            UserId user_id_bound, const std::string& path);
+Result<VisibilityTable> LoadVisibilityFromFile(const std::string& path);
+
+}  // namespace sight::io
+
+#endif  // SIGHT_IO_VISIBILITY_IO_H_

@@ -1,0 +1,43 @@
+#include "learning/classifier.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace sight {
+namespace internal {
+
+Status ValidateLabeledSet(size_t n, const LabeledSet& labeled) {
+  if (labeled.indices.size() != labeled.values.size()) {
+    return Status::InvalidArgument(
+        "labeled indices/values size mismatch");
+  }
+  if (labeled.size() == 0) {
+    return Status::InvalidArgument("labeled set is empty");
+  }
+  std::unordered_set<size_t> seen;
+  for (size_t idx : labeled.indices) {
+    if (idx >= n) {
+      return Status::OutOfRange(
+          StrFormat("labeled index %zu out of range (pool size %zu)", idx,
+                    n));
+    }
+    if (!seen.insert(idx).second) {
+      return Status::InvalidArgument(
+          StrFormat("labeled index %zu appears twice", idx));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+int RoundToLabel(double score, int label_min, int label_max) {
+  int rounded = static_cast<int>(std::lround(score));
+  if (rounded < label_min) return label_min;
+  if (rounded > label_max) return label_max;
+  return rounded;
+}
+
+}  // namespace sight

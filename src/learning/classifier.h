@@ -1,0 +1,61 @@
+// Graph-based semi-supervised classifier interface.
+//
+// Classifiers in the risk pipeline see a weighted similarity graph over a
+// pool's instances plus a few labeled instances, and output a continuous
+// score per instance (real-valued risk in [label_min, label_max], rounded
+// to a discrete label by the caller). This matches how the paper plugs
+// Zhu's harmonic-function method in and lets baselines (kNN, majority)
+// swap in for the ablation bench.
+
+#ifndef SIGHT_LEARNING_CLASSIFIER_H_
+#define SIGHT_LEARNING_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "learning/similarity_matrix.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// The labeled subset of a pool: parallel vectors of instance index and
+/// numeric label value.
+struct LabeledSet {
+  std::vector<size_t> indices;
+  std::vector<double> values;
+
+  size_t size() const { return indices.size(); }
+  void Add(size_t index, double value) {
+    indices.push_back(index);
+    values.push_back(value);
+  }
+};
+
+/// Predicts continuous label scores for all instances of a pool.
+class GraphClassifier {
+ public:
+  virtual ~GraphClassifier() = default;
+
+  /// Returns one score per instance (size weights.size()). Labeled
+  /// instances keep their given value in the output. Errors when the
+  /// labeled set is empty or references out-of-range indices.
+  virtual Result<std::vector<double>> Predict(
+      const SimilarityMatrix& weights, const LabeledSet& labeled) const = 0;
+
+  /// Human-readable name for reports ("harmonic", "knn", ...).
+  virtual std::string name() const = 0;
+};
+
+namespace internal {
+/// Shared validation: labeled set non-empty, indices in range, no
+/// duplicates.
+Status ValidateLabeledSet(size_t n, const LabeledSet& labeled);
+}  // namespace internal
+
+/// Rounds a continuous score to the nearest integer label in
+/// [label_min, label_max].
+int RoundToLabel(double score, int label_min, int label_max);
+
+}  // namespace sight
+
+#endif  // SIGHT_LEARNING_CLASSIFIER_H_

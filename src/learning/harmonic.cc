@@ -1,0 +1,160 @@
+#include "learning/harmonic.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sight {
+
+Result<HarmonicFunctionClassifier> HarmonicFunctionClassifier::Create(
+    HarmonicConfig config) {
+  if (config.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (!(config.tolerance > 0.0)) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  return HarmonicFunctionClassifier(config);
+}
+
+Result<std::vector<double>> HarmonicFunctionClassifier::Predict(
+    const SimilarityMatrix& weights, const LabeledSet& labeled) const {
+  size_t n = weights.size();
+  SIGHT_RETURN_NOT_OK(internal::ValidateLabeledSet(n, labeled));
+
+  double label_mean =
+      std::accumulate(labeled.values.begin(), labeled.values.end(), 0.0) /
+      static_cast<double>(labeled.size());
+
+  std::vector<bool> is_labeled(n, false);
+  std::vector<double> f(n, label_mean);
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    is_labeled[labeled.indices[i]] = true;
+    f[labeled.indices[i]] = labeled.values[i];
+  }
+
+  HarmonicSolver solver = config_.solver;
+  if (solver == HarmonicSolver::kAuto) {
+    size_t unlabeled = n - labeled.size();
+    solver = unlabeled > config_.auto_cg_threshold
+                 ? HarmonicSolver::kConjugateGradient
+                 : HarmonicSolver::kGaussSeidel;
+  }
+  switch (solver) {
+    case HarmonicSolver::kGaussSeidel:
+      return SolveGaussSeidel(weights, is_labeled, std::move(f));
+    case HarmonicSolver::kConjugateGradient:
+      return SolveConjugateGradient(weights, is_labeled, std::move(f));
+    case HarmonicSolver::kAuto:
+      break;  // resolved above
+  }
+  return Status::Internal("unknown harmonic solver");
+}
+
+std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
+    const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
+    std::vector<double> f) const {
+  size_t n = w.size();
+  std::vector<size_t> unlabeled;
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_labeled[i]) unlabeled.push_back(i);
+  }
+  std::vector<double> row_sums(n, 0.0);
+  for (size_t u : unlabeled) row_sums[u] = w.RowSum(u);
+
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t u : unlabeled) {
+      if (row_sums[u] <= 0.0) continue;  // isolated: stays at label mean
+      double acc = 0.0;
+      for (size_t v = 0; v < n; ++v) {
+        if (v == u) continue;
+        double wij = w.Get(u, v);
+        if (wij > 0.0) acc += wij * f[v];
+      }
+      double next = acc / row_sums[u];
+      max_delta = std::max(max_delta, std::fabs(next - f[u]));
+      f[u] = next;
+    }
+    if (max_delta < config_.tolerance) break;
+  }
+  return f;
+}
+
+std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
+    const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
+    std::vector<double> f) const {
+  size_t n = w.size();
+  std::vector<size_t> unlabeled;
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_labeled[i]) unlabeled.push_back(i);
+  }
+  size_t m = unlabeled.size();
+  if (m == 0) return f;
+
+  // System (D_uu - W_uu + eps I) x = W_ul f_l + eps * mean.
+  // The tiny ridge keeps the system SPD even when an unlabeled component
+  // has no labeled attachment (which would otherwise make the Laplacian
+  // block singular); such components settle at the initialization mean.
+  constexpr double kRidge = 1e-8;
+  const double mean = f[unlabeled[0]];  // unlabeled start at label mean
+
+  std::vector<double> diag(m, kRidge);
+  std::vector<double> b(m, kRidge * mean);
+  for (size_t a = 0; a < m; ++a) {
+    size_t u = unlabeled[a];
+    for (size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      double wij = w.Get(u, v);
+      if (wij <= 0.0) continue;
+      diag[a] += wij;
+      if (is_labeled[v]) b[a] += wij * f[v];
+    }
+  }
+
+  auto matvec = [&](const std::vector<double>& x, std::vector<double>* out) {
+    for (size_t a = 0; a < m; ++a) {
+      double acc = diag[a] * x[a];
+      size_t u = unlabeled[a];
+      for (size_t c = 0; c < m; ++c) {
+        if (c == a) continue;
+        double wij = w.Get(u, unlabeled[c]);
+        if (wij > 0.0) acc -= wij * x[c];
+      }
+      (*out)[a] = acc;
+    }
+  };
+
+  std::vector<double> x(m, mean);
+  std::vector<double> ax(m);
+  matvec(x, &ax);
+  std::vector<double> r(m);
+  for (size_t a = 0; a < m; ++a) r[a] = b[a] - ax[a];
+  std::vector<double> p = r;
+  std::vector<double> ap(m);
+
+  double rs_old = std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+  for (size_t iter = 0; iter < config_.max_iterations && iter < m + 8;
+       ++iter) {
+    if (std::sqrt(rs_old) < config_.tolerance) break;
+    matvec(p, &ap);
+    double p_ap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+    if (p_ap <= 0.0) break;  // numerical safety
+    double alpha = rs_old / p_ap;
+    for (size_t a = 0; a < m; ++a) {
+      x[a] += alpha * p[a];
+      r[a] -= alpha * ap[a];
+    }
+    double rs_new = std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+    double beta = rs_new / rs_old;
+    for (size_t a = 0; a < m; ++a) p[a] = r[a] + beta * p[a];
+    rs_old = rs_new;
+  }
+
+  for (size_t a = 0; a < m; ++a) f[unlabeled[a]] = x[a];
+  return f;
+}
+
+}  // namespace sight

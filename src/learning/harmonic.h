@@ -1,0 +1,79 @@
+// Semi-supervised learning with Gaussian fields and harmonic functions
+// (Zhu, Ghahramani, Lafferty, ICML 2003) — the classifier the risk paper
+// adopts.
+//
+// Given a weighted graph over labeled and unlabeled nodes, the predicted
+// score vector f is the harmonic function: f equals the given labels on
+// labeled nodes and satisfies f(u) = sum_v w(u,v) f(v) / sum_v w(u,v) on
+// unlabeled nodes — each unlabeled node takes the weight-averaged value of
+// its neighbors. This is the unique minimizer of the quadratic energy
+// E(f) = 1/2 sum w(u,v) (f(u) - f(v))^2 with the labels clamped, i.e. the
+// solution of (D_uu - W_uu) f_u = W_ul f_l, and equals the expected label
+// under the absorbing random walk the paper mentions ("the random walk
+// strategy presented in [18]").
+//
+// Two solvers: Gauss-Seidel label propagation (default; monotone, simple)
+// and conjugate gradient on the Laplacian system (faster convergence on
+// poorly mixing graphs). Isolated unlabeled components fall back to the
+// mean of the given labels.
+
+#ifndef SIGHT_LEARNING_HARMONIC_H_
+#define SIGHT_LEARNING_HARMONIC_H_
+
+#include <string>
+#include <vector>
+
+#include "learning/classifier.h"
+#include "learning/similarity_matrix.h"
+#include "util/status.h"
+
+namespace sight {
+
+enum class HarmonicSolver {
+  kGaussSeidel,
+  kConjugateGradient,
+  /// Gauss-Seidel for small systems, conjugate gradient once the
+  /// unlabeled set is large (CG converges in far fewer O(n^2) passes on
+  /// big dense pools — ~3-4x faster at n=400 in perf_components).
+  kAuto,
+};
+
+struct HarmonicConfig {
+  HarmonicSolver solver = HarmonicSolver::kAuto;
+  size_t max_iterations = 1000;
+  /// Convergence: max absolute score change per sweep (Gauss-Seidel) or
+  /// residual norm (CG) below this stops iterating.
+  double tolerance = 1e-7;
+  /// kAuto switches to conjugate gradient above this many unlabeled
+  /// nodes.
+  size_t auto_cg_threshold = 128;
+};
+
+class HarmonicFunctionClassifier : public GraphClassifier {
+ public:
+  static Result<HarmonicFunctionClassifier> Create(HarmonicConfig config);
+
+  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+                                      const LabeledSet& labeled) const override;
+
+  std::string name() const override { return "harmonic"; }
+
+  const HarmonicConfig& config() const { return config_; }
+
+ private:
+  explicit HarmonicFunctionClassifier(HarmonicConfig config)
+      : config_(config) {}
+
+  std::vector<double> SolveGaussSeidel(const SimilarityMatrix& w,
+                                       const std::vector<bool>& is_labeled,
+                                       std::vector<double> f) const;
+  std::vector<double> SolveConjugateGradient(
+      const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
+      std::vector<double> f) const;
+
+  HarmonicConfig config_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_LEARNING_HARMONIC_H_

@@ -1,0 +1,118 @@
+#include "learning/info_gain.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace sight {
+namespace {
+
+Status CheckInput(size_t values, size_t labels) {
+  if (values != labels) {
+    return Status::InvalidArgument(
+        StrFormat("attribute/label size mismatch: %zu vs %zu", values,
+                  labels));
+  }
+  if (values == 0) return Status::InvalidArgument("empty input");
+  return Status::OK();
+}
+
+}  // namespace
+
+double EntropyFromCounts(const std::vector<size_t>& counts) {
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double LabelEntropy(const std::vector<int>& labels) {
+  std::map<int, size_t> counts;
+  for (int l : labels) ++counts[l];
+  std::vector<size_t> count_vec;
+  count_vec.reserve(counts.size());
+  for (const auto& [label, count] : counts) count_vec.push_back(count);
+  return EntropyFromCounts(count_vec);
+}
+
+Result<double> InformationGain(
+    const std::vector<std::string>& attribute_values,
+    const std::vector<int>& labels) {
+  SIGHT_RETURN_NOT_OK(CheckInput(attribute_values.size(), labels.size()));
+
+  double base = LabelEntropy(labels);
+
+  // Partition labels by attribute value.
+  std::unordered_map<std::string, std::map<int, size_t>> partitions;
+  for (size_t i = 0; i < attribute_values.size(); ++i) {
+    ++partitions[attribute_values[i]][labels[i]];
+  }
+
+  const double n = static_cast<double>(labels.size());
+  double conditional = 0.0;
+  for (const auto& [value, label_counts] : partitions) {
+    size_t part_size = 0;
+    std::vector<size_t> count_vec;
+    count_vec.reserve(label_counts.size());
+    for (const auto& [label, count] : label_counts) {
+      part_size += count;
+      count_vec.push_back(count);
+    }
+    conditional += (static_cast<double>(part_size) / n) *
+                   EntropyFromCounts(count_vec);
+  }
+  return base - conditional;
+}
+
+Result<double> SplitInformation(
+    const std::vector<std::string>& attribute_values) {
+  if (attribute_values.empty()) {
+    return Status::InvalidArgument("empty input");
+  }
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& v : attribute_values) ++counts[v];
+  std::vector<size_t> count_vec;
+  count_vec.reserve(counts.size());
+  for (const auto& [value, count] : counts) count_vec.push_back(count);
+  return EntropyFromCounts(count_vec);
+}
+
+Result<double> GainRatio(const std::vector<std::string>& attribute_values,
+                         const std::vector<int>& labels) {
+  SIGHT_ASSIGN_OR_RETURN(double gain, InformationGain(attribute_values, labels));
+  SIGHT_ASSIGN_OR_RETURN(double split, SplitInformation(attribute_values));
+  if (split <= 0.0) return 0.0;  // single-valued attribute: no information
+  return gain / split;
+}
+
+Result<double> CorrectedGainRatio(
+    const std::vector<std::string>& attribute_values,
+    const std::vector<int>& labels) {
+  SIGHT_ASSIGN_OR_RETURN(double gain, InformationGain(attribute_values, labels));
+  SIGHT_ASSIGN_OR_RETURN(double split, SplitInformation(attribute_values));
+  if (split <= 0.0) return 0.0;
+
+  std::unordered_map<std::string, size_t> values;
+  for (const auto& v : attribute_values) ++values[v];
+  std::map<int, size_t> label_values;
+  for (int l : labels) ++label_values[l];
+
+  double v = static_cast<double>(values.size());
+  double l = static_cast<double>(label_values.size());
+  double n = static_cast<double>(labels.size());
+  // Expected gain of an independent attribute (Miller-Madow, in bits).
+  double chance = (v - 1.0) * (l - 1.0) / (2.0 * n * std::log(2.0));
+  double adjusted = gain - chance;
+  if (adjusted <= 0.0) return 0.0;
+  return adjusted / split;
+}
+
+}  // namespace sight

@@ -1,0 +1,69 @@
+// Prediction quality metrics: RMSE (the paper's Definition 4 core),
+// exact-match accuracy (the paper's 83.36% headline), MAE, and a discrete
+// confusion matrix.
+
+#ifndef SIGHT_LEARNING_METRICS_H_
+#define SIGHT_LEARNING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sight {
+
+/// Root mean square error between parallel prediction/truth vectors.
+Result<double> Rmse(const std::vector<double>& predictions,
+                    const std::vector<double>& truth);
+
+/// Mean absolute error.
+Result<double> MeanAbsoluteError(const std::vector<double>& predictions,
+                                 const std::vector<double>& truth);
+
+/// Fraction of exact matches between discrete label vectors.
+Result<double> ExactMatchRate(const std::vector<int>& predictions,
+                              const std::vector<int>& truth);
+
+/// Row-indexed-by-truth confusion matrix over labels in
+/// [label_min, label_max].
+class ConfusionMatrix {
+ public:
+  static Result<ConfusionMatrix> Create(int label_min, int label_max);
+
+  /// OutOfRange when either label is outside the configured range.
+  Status Add(int truth, int prediction);
+
+  size_t Count(int truth, int prediction) const;
+  size_t Total() const { return total_; }
+
+  /// Overall accuracy (0 when empty).
+  double Accuracy() const;
+
+  /// Fraction of instances predicted *below* their true label — the
+  /// dangerous direction in the paper's privacy setting (a risky stranger
+  /// reported as safe).
+  double UnderPredictionRate() const;
+
+  /// Fraction predicted above their true label (extra vigilance; benign).
+  double OverPredictionRate() const;
+
+  int label_min() const { return label_min_; }
+  int label_max() const { return label_max_; }
+
+ private:
+  ConfusionMatrix(int label_min, int label_max);
+
+  size_t IndexOf(int label) const {
+    return static_cast<size_t>(label - label_min_);
+  }
+
+  int label_min_;
+  int label_max_;
+  size_t num_labels_;
+  std::vector<size_t> counts_;  // row-major [truth][prediction]
+  size_t total_ = 0;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_LEARNING_METRICS_H_

@@ -1,0 +1,55 @@
+#include "learning/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sight {
+
+std::vector<size_t> RandomSampler::Select(const SamplingContext& context,
+                                          size_t k, Rng* rng) const {
+  SIGHT_CHECK(rng != nullptr);
+  const auto& candidates = context.candidates;
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(candidates.size(), k);
+  std::vector<size_t> result;
+  result.reserve(picks.size());
+  for (size_t p : picks) result.push_back(candidates[p]);
+  return result;
+}
+
+std::vector<size_t> UncertaintySampler::Select(const SamplingContext& context,
+                                               size_t k, Rng* rng) const {
+  SIGHT_CHECK(rng != nullptr);
+  const auto& candidates = context.candidates;
+  const auto& predictions = context.predictions;
+  bool has_predictions = true;
+  for (size_t c : candidates) {
+    if (c >= predictions.size()) {
+      has_predictions = false;
+      break;
+    }
+  }
+  if (!has_predictions || predictions.empty()) {
+    return RandomSampler().Select(context, k, rng);
+  }
+  // Ambiguity = distance of the continuous score from the nearest integer
+  // label; 0.5 is maximally ambiguous.
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t c : candidates) {
+    double f = predictions[c];
+    double ambiguity = std::fabs(f - std::round(f));
+    scored.emplace_back(ambiguity, c);
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(take),
+                    scored.end(), std::greater<>());
+  std::vector<size_t> result;
+  result.reserve(take);
+  for (size_t t = 0; t < take; ++t) result.push_back(scored[t].second);
+  return result;
+}
+
+}  // namespace sight

@@ -1,0 +1,61 @@
+// Sampling strategies for the active-learning round loop.
+//
+// The paper samples strangers uniformly at random from each pool
+// (pool-based selection; the pools themselves carry the informativeness).
+// UncertaintySampler is the classic alternative — pick the instances whose
+// continuous prediction is farthest from any discrete label — and is
+// compared against the paper's choice in the ablation bench.
+
+#ifndef SIGHT_LEARNING_SAMPLING_H_
+#define SIGHT_LEARNING_SAMPLING_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// Context a sampler sees when choosing which instances to query.
+struct SamplingContext {
+  /// Candidate (unlabeled) instance indices within the pool.
+  const std::vector<size_t>& candidates;
+  /// Current continuous predictions for the whole pool (may be empty on
+  /// the first round, before any model exists).
+  const std::vector<double>& predictions;
+};
+
+/// Chooses up to k candidates to be labeled next.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Returns at most k distinct indices drawn from context.candidates.
+  virtual std::vector<size_t> Select(const SamplingContext& context, size_t k,
+                                     Rng* rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random selection (the paper's strategy).
+class RandomSampler : public Sampler {
+ public:
+  std::vector<size_t> Select(const SamplingContext& context, size_t k,
+                             Rng* rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Picks the candidates whose prediction is closest to halfway between two
+/// labels (maximum rounding ambiguity). Falls back to random on the first
+/// round when no predictions exist.
+class UncertaintySampler : public Sampler {
+ public:
+  std::vector<size_t> Select(const SamplingContext& context, size_t k,
+                             Rng* rng) const override;
+  std::string name() const override { return "uncertainty"; }
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_LEARNING_SAMPLING_H_

@@ -1,0 +1,63 @@
+#include "learning/similarity_matrix.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sight {
+
+void SimilarityMatrix::Set(size_t i, size_t j, double value) {
+  SIGHT_CHECK(i < n_ && j < n_);
+  if (i == j) return;
+  data_[Index(i, j)] = value;
+}
+
+double SimilarityMatrix::Get(size_t i, size_t j) const {
+  SIGHT_CHECK(i < n_ && j < n_);
+  if (i == j) return 0.0;
+  return data_[Index(i, j)];
+}
+
+double SimilarityMatrix::RowSum(size_t i) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < n_; ++j) {
+    if (j != i) sum += Get(i, j);
+  }
+  return sum;
+}
+
+void SimilarityMatrix::SparsifyTopK(size_t k) {
+  if (n_ == 0) return;
+  // Mark, per node, its k strongest neighbors.
+  std::vector<std::vector<bool>> keep(n_, std::vector<bool>(n_, false));
+  std::vector<std::pair<double, size_t>> row;
+  for (size_t i = 0; i < n_; ++i) {
+    row.clear();
+    for (size_t j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      double w = Get(i, j);
+      if (w > 0.0) row.emplace_back(w, j);
+    }
+    size_t take = std::min(k, row.size());
+    std::partial_sort(row.begin(), row.begin() + static_cast<ptrdiff_t>(take),
+                      row.end(), std::greater<>());
+    for (size_t t = 0; t < take; ++t) keep[i][row[t].second] = true;
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (!keep[i][j] && !keep[j][i]) data_[Index(i, j)] = 0.0;
+    }
+  }
+}
+
+size_t SimilarityMatrix::NumEdges() const {
+  size_t count = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (data_[Index(i, j)] > 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sight

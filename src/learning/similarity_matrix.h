@@ -1,0 +1,54 @@
+// Dense symmetric similarity (edge-weight) matrix for a pool of instances.
+//
+// Pools in the risk pipeline are small (tens to a few thousand strangers),
+// so a dense lower-triangular store is simpler and faster than a sparse
+// structure. Zhu's harmonic classifier consumes this as the weighted graph
+// over labeled + unlabeled nodes. An optional top-k sparsification keeps
+// only the strongest edges per node, which both denoises and speeds up
+// propagation for larger pools.
+
+#ifndef SIGHT_LEARNING_SIMILARITY_MATRIX_H_
+#define SIGHT_LEARNING_SIMILARITY_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sight {
+
+/// Symmetric n x n matrix with a zero diagonal (no self-edges).
+class SimilarityMatrix {
+ public:
+  explicit SimilarityMatrix(size_t n) : n_(n), data_(n * (n + 1) / 2, 0.0) {}
+
+  size_t size() const { return n_; }
+
+  /// Sets w(i, j) = w(j, i) = value. Diagonal writes are ignored.
+  void Set(size_t i, size_t j, double value);
+
+  double Get(size_t i, size_t j) const;
+
+  /// Sum of row i (node degree in the weighted graph).
+  double RowSum(size_t i) const;
+
+  /// Keeps, for every node, only its k strongest incident edges (an edge
+  /// survives if it is in the top-k of either endpoint). k = 0 clears all.
+  void SparsifyTopK(size_t k);
+
+  /// Number of non-zero off-diagonal entries (each unordered pair once).
+  size_t NumEdges() const;
+
+ private:
+  size_t Index(size_t i, size_t j) const {
+    if (i < j) std::swap(i, j);
+    return i * (i + 1) / 2 + j;  // lower triangle, i >= j
+  }
+
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_LEARNING_SIMILARITY_MATRIX_H_

@@ -1,0 +1,54 @@
+#include "sim/crawler.h"
+
+#include "graph/algorithms.h"
+#include "util/logging.h"
+
+namespace sight::sim {
+
+Result<Crawler> Crawler::Create(const SocialGraph& graph, UserId owner,
+                                CrawlerConfig config, Rng* rng) {
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng is required");
+  }
+  SIGHT_ASSIGN_OR_RETURN(std::vector<UserId> strangers,
+                         TwoHopStrangers(graph, owner));
+
+  // Weighted sampling without replacement: strangers with more mutual
+  // friends tend to be discovered earlier.
+  std::vector<double> weights;
+  weights.reserve(strangers.size());
+  for (UserId s : strangers) {
+    weights.push_back(
+        static_cast<double>(MutualFriendCount(graph, owner, s)));
+  }
+  std::vector<UserId> order;
+  order.reserve(strangers.size());
+  std::vector<bool> taken(strangers.size(), false);
+  for (size_t step = 0; step < strangers.size(); ++step) {
+    // Weights of already-taken strangers are zeroed; all weights here are
+    // >= 1 (a two-hop stranger has at least one mutual friend).
+    size_t pick = rng->WeightedIndex(weights);
+    SIGHT_CHECK(!taken[pick]);
+    taken[pick] = true;
+    order.push_back(strangers[pick]);
+    weights[pick] = 0.0;
+  }
+  return Crawler(std::move(order), config);
+}
+
+std::vector<UserId> Crawler::Tick() {
+  std::vector<UserId> batch;
+  size_t end = std::min(next_ + config_.batch_size, order_.size());
+  batch.reserve(end - next_);
+  while (next_ < end) {
+    batch.push_back(order_[next_]);
+    discovered_.push_back(order_[next_]);
+    ++next_;
+  }
+  return batch;
+}
+
+}  // namespace sight::sim

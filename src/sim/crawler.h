@@ -1,0 +1,61 @@
+// Incremental stranger discovery (the Sight Facebook app's crawl loop).
+//
+// The paper's application cannot read the social graph at once: it listens
+// to friend interactions and discovers friends-of-friends over up to a
+// week. The Crawler simulates that: starting from the owner's friend list,
+// each Tick() surfaces a batch of not-yet-discovered strangers, with
+// discovery probability proportional to the stranger's mutual-friend count
+// (well-connected strangers appear in interactions sooner). This exercises
+// the incremental flow the paper gives as its reason for choosing active
+// learning ("the user can start label and learn about the risk since the
+// first day").
+
+#ifndef SIGHT_SIM_CRAWLER_H_
+#define SIGHT_SIM_CRAWLER_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "graph/types.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight::sim {
+
+struct CrawlerConfig {
+  /// Strangers surfaced per tick.
+  size_t batch_size = 50;
+};
+
+class Crawler {
+ public:
+  /// Enumerates the owner's two-hop strangers up front (the simulator
+  /// knows the full graph; the discovery order is what is simulated).
+  static Result<Crawler> Create(const SocialGraph& graph, UserId owner,
+                                CrawlerConfig config, Rng* rng);
+
+  /// Surfaces the next batch of strangers (empty once exhausted).
+  std::vector<UserId> Tick();
+
+  /// All strangers discovered so far, in discovery order.
+  const std::vector<UserId>& discovered() const { return discovered_; }
+
+  size_t num_remaining() const { return order_.size() - next_; }
+  bool done() const { return next_ >= order_.size(); }
+  size_t total_strangers() const { return order_.size(); }
+
+ private:
+  Crawler(std::vector<UserId> order, CrawlerConfig config)
+      : order_(std::move(order)), config_(config) {}
+
+  /// Full discovery order, precomputed by weighted sampling without
+  /// replacement (weight = mutual-friend count).
+  std::vector<UserId> order_;
+  CrawlerConfig config_;
+  std::vector<UserId> discovered_;
+  size_t next_ = 0;
+};
+
+}  // namespace sight::sim
+
+#endif  // SIGHT_SIM_CRAWLER_H_

@@ -1,0 +1,105 @@
+// Synthetic owner-centric Facebook dataset generator.
+//
+// Substitute for the paper's crawled Facebook data (see DESIGN.md §1).
+// For one owner it generates an ego network:
+//
+//   * the owner and ~num_friends friends, partitioned into communities
+//     (hometown/school/work circles) with dense intra-community edges —
+//     these edges drive the density term of NS;
+//   * ~num_strangers friends-of-friends; each stranger attaches to m
+//     mutual friends inside one community, with m following a Zipf law
+//     capped at max_mutual_friends — most strangers share one mutual
+//     friend, few share many, reproducing the skewed NSG distribution of
+//     the paper's Fig. 4;
+//   * locale/gender-conditioned categorical profiles (homophily: friends
+//     and community strangers mostly share the owner's locale);
+//   * per-item visibility masks sampled from the paper's own Table IV/V
+//     statistics.
+
+#ifndef SIGHT_SIM_FACEBOOK_GENERATOR_H_
+#define SIGHT_SIM_FACEBOOK_GENERATOR_H_
+
+#include <vector>
+
+#include "graph/profile.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+#include "graph/visibility.h"
+#include "sim/schema.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight::sim {
+
+/// Gender/locale of one study participant.
+struct OwnerSpec {
+  Gender gender = Gender::kMale;
+  Locale locale = Locale::kTR;
+};
+
+/// The paper's 47-owner population (Section IV-A): 32 male / 15 female;
+/// 17 TR, 5 IT, 9 US, 1 IN, 7 PL, and the 8 whose locale the paper leaves
+/// unreported filled with DE/GB/ES.
+std::vector<OwnerSpec> PaperOwnerPopulation();
+
+struct GeneratorConfig {
+  /// Owner's friend count (Facebook's classic average is ~130).
+  size_t num_friends = 130;
+  /// Strangers to generate (the paper's owners average 3,661; benches
+  /// default lower for wall-clock reasons and note the scale).
+  size_t num_strangers = 800;
+  /// Friend communities (school, work, hometown circles).
+  size_t num_communities = 8;
+  /// Edge probability between friends of the same community.
+  double intra_community_edge_prob = 0.25;
+  /// Edge probability between friends of different communities.
+  double inter_community_edge_prob = 0.01;
+  /// Probability a friend shares the owner's locale (homophily).
+  double same_locale_friend_prob = 0.65;
+  /// Probability a community keeps the owner's locale as its own.
+  double community_same_locale_prob = 0.6;
+  /// Probability a stranger takes its community's locale.
+  double same_locale_stranger_prob = 0.75;
+  double male_fraction = 0.6;
+  /// Cap on a stranger's mutual friends (paper: "more than 40" observed).
+  size_t max_mutual_friends = 40;
+  /// Zipf exponent of the mutual-friend-count distribution (larger =
+  /// more strangers with a single mutual friend).
+  double mutual_zipf_exponent = 1.6;
+
+  Status Validate() const;
+};
+
+/// A generated ego network plus its side tables.
+struct OwnerDataset {
+  SocialGraph graph;
+  ProfileTable profiles;
+  VisibilityTable visibility;
+  UserId owner = kInvalidUser;
+  std::vector<UserId> friends;
+  /// Exactly the two-hop strangers of `owner` (verified post-generation).
+  std::vector<UserId> strangers;
+
+  OwnerDataset() : profiles(FacebookSchema()) {}
+};
+
+class FacebookGenerator {
+ public:
+  static Result<FacebookGenerator> Create(GeneratorConfig config);
+
+  /// Generates a dataset for one owner. Deterministic given the Rng state.
+  Result<OwnerDataset> Generate(const OwnerSpec& owner_spec, Rng* rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  explicit FacebookGenerator(GeneratorConfig config)
+      : config_(config) {}
+
+  GeneratorConfig config_;
+  ValueDistributions dists_;
+};
+
+}  // namespace sight::sim
+
+#endif  // SIGHT_SIM_FACEBOOK_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "sim/schema.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sight::sim {
+namespace {
+
+// Zipf-weighted index into a pool of size n: P(i) proportional to 1/(i+1).
+size_t ZipfIndex(size_t n, Rng* rng) {
+  SIGHT_CHECK(n > 0);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) weights[i] = 1.0 / static_cast<double>(i + 1);
+  return rng->WeightedIndex(weights);
+}
+
+}  // namespace
+
+const char* LocaleCode(Locale locale) {
+  switch (locale) {
+    case Locale::kTR:
+      return "tr_TR";
+    case Locale::kDE:
+      return "de_DE";
+    case Locale::kUS:
+      return "en_US";
+    case Locale::kIT:
+      return "it_IT";
+    case Locale::kGB:
+      return "en_GB";
+    case Locale::kES:
+      return "es_ES";
+    case Locale::kPL:
+      return "pl_PL";
+    case Locale::kIN:
+      return "en_IN";
+  }
+  return "unknown";
+}
+
+Result<Locale> LocaleFromCode(const std::string& code) {
+  for (Locale locale : kAllLocales) {
+    if (code == LocaleCode(locale)) return locale;
+  }
+  return Status::NotFound(StrFormat("no locale with code '%s'",
+                                    code.c_str()));
+}
+
+const char* GenderName(Gender gender) {
+  return gender == Gender::kMale ? "male" : "female";
+}
+
+ProfileSchema FacebookSchema() {
+  auto schema = ProfileSchema::Create(
+      {"gender", "locale", "last_name", "hometown", "education", "work"});
+  SIGHT_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+std::vector<double> PaperAttributeWeights() {
+  std::vector<double> weights(kNumFacebookAttributes, 0.0);
+  weights[static_cast<size_t>(FacebookAttribute::kGender)] = 0.6231;
+  weights[static_cast<size_t>(FacebookAttribute::kLocale)] = 0.3226;
+  weights[static_cast<size_t>(FacebookAttribute::kLastName)] = 0.0542;
+  return weights;
+}
+
+ValueDistributions::ValueDistributions() {
+  auto at = [](Locale l) { return static_cast<size_t>(l); };
+
+  last_names_[at(Locale::kTR)] = {"Yilmaz", "Kaya",  "Demir", "Celik",
+                                  "Sahin",  "Yildiz", "Aydin", "Ozturk",
+                                  "Arslan", "Dogan"};
+  last_names_[at(Locale::kDE)] = {"Mueller", "Schmidt", "Schneider",
+                                  "Fischer", "Weber",   "Meyer",
+                                  "Wagner",  "Becker",  "Schulz", "Hoffmann"};
+  last_names_[at(Locale::kUS)] = {"Smith",  "Johnson", "Williams", "Brown",
+                                  "Jones",  "Garcia",  "Miller",   "Davis",
+                                  "Wilson", "Anderson"};
+  last_names_[at(Locale::kIT)] = {"Rossi",    "Russo",   "Ferrari",
+                                  "Esposito", "Bianchi", "Romano",
+                                  "Colombo",  "Ricci",   "Marino", "Greco"};
+  last_names_[at(Locale::kGB)] = {"Smith",  "Jones",    "Taylor", "Brown",
+                                  "Wilson", "Evans",    "Thomas", "Roberts",
+                                  "Walker", "Robinson"};
+  last_names_[at(Locale::kES)] = {"Garcia", "Fernandez", "Gonzalez",
+                                  "Rodriguez", "Lopez",  "Martinez",
+                                  "Sanchez",   "Perez",  "Gomez", "Martin"};
+  last_names_[at(Locale::kPL)] = {"Nowak",     "Kowalski", "Wisniewski",
+                                  "Wojcik",    "Kowalczyk", "Kaminski",
+                                  "Lewandowski", "Zielinski", "Szymanski",
+                                  "Wozniak"};
+  last_names_[at(Locale::kIN)] = {"Sharma", "Verma", "Gupta",  "Singh",
+                                  "Kumar",  "Patel", "Reddy",  "Mehta",
+                                  "Joshi",  "Nair"};
+
+  hometowns_[at(Locale::kTR)] = {"Istanbul", "Ankara", "Izmir", "Bursa",
+                                 "Antalya", "Adana"};
+  hometowns_[at(Locale::kDE)] = {"Berlin", "Hamburg", "Munich", "Cologne",
+                                 "Frankfurt", "Stuttgart"};
+  hometowns_[at(Locale::kUS)] = {"New York", "Los Angeles", "Chicago",
+                                 "Houston", "Phoenix", "Philadelphia"};
+  hometowns_[at(Locale::kIT)] = {"Rome", "Milan", "Naples", "Turin",
+                                 "Palermo", "Varese"};
+  hometowns_[at(Locale::kGB)] = {"London", "Birmingham", "Manchester",
+                                 "Glasgow", "Liverpool", "Leeds"};
+  hometowns_[at(Locale::kES)] = {"Madrid", "Barcelona", "Valencia",
+                                 "Seville", "Zaragoza", "Malaga"};
+  hometowns_[at(Locale::kPL)] = {"Warsaw", "Krakow", "Lodz", "Wroclaw",
+                                 "Poznan", "Gdansk"};
+  hometowns_[at(Locale::kIN)] = {"Mumbai", "Delhi", "Bangalore", "Hyderabad",
+                                 "Chennai", "Kolkata"};
+
+  educations_[at(Locale::kTR)] = {"Bogazici University", "METU",
+                                  "Istanbul University", "Bilkent"};
+  educations_[at(Locale::kDE)] = {"TU Munich", "Heidelberg University",
+                                  "Humboldt", "RWTH Aachen"};
+  educations_[at(Locale::kUS)] = {"State University", "Community College",
+                                  "MIT", "UCLA"};
+  educations_[at(Locale::kIT)] = {"Universita dell'Insubria",
+                                  "Politecnico di Milano", "La Sapienza",
+                                  "Bologna"};
+  educations_[at(Locale::kGB)] = {"Oxford", "Cambridge", "UCL",
+                                  "Manchester"};
+  educations_[at(Locale::kES)] = {"Complutense", "UAB", "Valencia",
+                                  "Sevilla"};
+  educations_[at(Locale::kPL)] = {"University of Warsaw", "Jagiellonian",
+                                  "AGH", "Gdansk Tech"};
+  educations_[at(Locale::kIN)] = {"IIT Bombay", "IIT Delhi", "BITS",
+                                  "Anna University"};
+
+  works_ = {"engineer", "teacher", "student", "designer", "doctor",
+            "sales",    "manager", "nurse",   "lawyer",   "chef"};
+}
+
+std::string ValueDistributions::SampleLastName(Locale locale,
+                                               Rng* rng) const {
+  const auto& pool = last_names_[static_cast<size_t>(locale)];
+  return pool[ZipfIndex(pool.size(), rng)];
+}
+
+std::string ValueDistributions::SampleHometown(Locale locale,
+                                               Rng* rng) const {
+  const auto& pool = hometowns_[static_cast<size_t>(locale)];
+  return pool[ZipfIndex(pool.size(), rng)];
+}
+
+std::string ValueDistributions::SampleEducation(Locale locale,
+                                                Rng* rng) const {
+  // ~35% of profiles list no education.
+  if (rng->Bernoulli(0.35)) return kMissingValue;
+  const auto& pool = educations_[static_cast<size_t>(locale)];
+  return pool[ZipfIndex(pool.size(), rng)];
+}
+
+std::string ValueDistributions::SampleWork(Rng* rng) const {
+  // ~45% of profiles list no employer.
+  if (rng->Bernoulli(0.45)) return kMissingValue;
+  return works_[ZipfIndex(works_.size(), rng)];
+}
+
+const std::vector<std::string>& ValueDistributions::last_names(
+    Locale locale) const {
+  return last_names_[static_cast<size_t>(locale)];
+}
+
+const std::vector<std::string>& ValueDistributions::hometowns(
+    Locale locale) const {
+  return hometowns_[static_cast<size_t>(locale)];
+}
+
+Profile MakeProfile(Gender gender, Locale locale,
+                    const ValueDistributions& dists, Rng* rng) {
+  Profile profile;
+  profile.values.resize(kNumFacebookAttributes);
+  profile.values[static_cast<size_t>(FacebookAttribute::kGender)] =
+      GenderName(gender);
+  profile.values[static_cast<size_t>(FacebookAttribute::kLocale)] =
+      LocaleCode(locale);
+  profile.values[static_cast<size_t>(FacebookAttribute::kLastName)] =
+      dists.SampleLastName(locale, rng);
+  profile.values[static_cast<size_t>(FacebookAttribute::kHometown)] =
+      dists.SampleHometown(locale, rng);
+  profile.values[static_cast<size_t>(FacebookAttribute::kEducation)] =
+      dists.SampleEducation(locale, rng);
+  profile.values[static_cast<size_t>(FacebookAttribute::kWork)] =
+      dists.SampleWork(rng);
+  return profile;
+}
+
+}  // namespace sight::sim

@@ -1,0 +1,106 @@
+// The Facebook-like profile schema and categorical value distributions
+// used by the synthetic dataset generator.
+//
+// Attribute values are drawn from locale-conditioned pools (Turkish last
+// names for TR strangers, Italian hometowns for IT strangers, ...), which
+// gives the generated population the locale-correlated value frequencies
+// the paper's profile similarity and Squeezer clustering rely on.
+
+#ifndef SIGHT_SIM_SCHEMA_H_
+#define SIGHT_SIM_SCHEMA_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/profile.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight::sim {
+
+/// The seven locales of the paper's Table V plus IN (one owner in the
+/// paper's population is from India).
+enum class Locale : uint8_t {
+  kTR = 0,
+  kDE = 1,
+  kUS = 2,
+  kIT = 3,
+  kGB = 4,
+  kES = 5,
+  kPL = 6,
+  kIN = 7,
+};
+
+inline constexpr size_t kNumLocales = 8;
+
+constexpr std::array<Locale, kNumLocales> kAllLocales = {
+    Locale::kTR, Locale::kDE, Locale::kUS, Locale::kIT,
+    Locale::kGB, Locale::kES, Locale::kPL, Locale::kIN};
+
+/// Facebook-style locale code ("tr_TR", "en_US", ...).
+const char* LocaleCode(Locale locale);
+
+/// Inverse of LocaleCode; NotFound for unknown codes.
+Result<Locale> LocaleFromCode(const std::string& code);
+
+enum class Gender : uint8_t { kMale = 0, kFemale = 1 };
+
+const char* GenderName(Gender gender);
+
+/// Canonical attribute order of the generated schema.
+enum class FacebookAttribute : uint8_t {
+  kGender = 0,
+  kLocale = 1,
+  kLastName = 2,
+  kHometown = 3,
+  kEducation = 4,
+  kWork = 5,
+};
+
+inline constexpr size_t kNumFacebookAttributes = 6;
+
+/// The schema {gender, locale, last_name, hometown, education, work}.
+ProfileSchema FacebookSchema();
+
+/// Squeezer attribute weights aligned with FacebookSchema(), set to the
+/// paper's Table I average importances: the paper clusters on exactly
+/// {gender 0.6231, locale 0.3226, last name 0.0542} and ignores the other
+/// attributes for pooling.
+std::vector<double> PaperAttributeWeights();
+
+/// Value pools conditioned on locale.
+class ValueDistributions {
+ public:
+  ValueDistributions();
+
+  /// Draws a last name for someone from `locale`: Zipf-weighted choice
+  /// from the locale's name pool.
+  std::string SampleLastName(Locale locale, Rng* rng) const;
+
+  /// Draws a hometown (cities of the locale's country).
+  std::string SampleHometown(Locale locale, Rng* rng) const;
+
+  /// Draws an education (universities of the locale, or missing).
+  std::string SampleEducation(Locale locale, Rng* rng) const;
+
+  /// Draws an employer (global pool, or missing).
+  std::string SampleWork(Rng* rng) const;
+
+  const std::vector<std::string>& last_names(Locale locale) const;
+  const std::vector<std::string>& hometowns(Locale locale) const;
+
+ private:
+  std::array<std::vector<std::string>, kNumLocales> last_names_;
+  std::array<std::vector<std::string>, kNumLocales> hometowns_;
+  std::array<std::vector<std::string>, kNumLocales> educations_;
+  std::vector<std::string> works_;
+};
+
+/// Builds a full profile for a user.
+Profile MakeProfile(Gender gender, Locale locale,
+                    const ValueDistributions& dists, Rng* rng);
+
+}  // namespace sight::sim
+
+#endif  // SIGHT_SIM_SCHEMA_H_

@@ -1,0 +1,74 @@
+// Twitter-like dataset generator (the paper's Section VI "data sets
+// coming from different social networks" direction, and its own Section
+// II heterophily example).
+//
+// Structural contrast with the Facebook generator:
+//   * relationships are mutual follows; a handful of *celebrity* hubs are
+//     followed by a large share of the population, so most mutual-friend
+//     sets run through hubs whose followers are not interconnected — NS
+//     is even more skewed toward zero than on Facebook;
+//   * profiles are mostly public (heterophily: people follow accounts
+//     very unlike themselves because the content is the benefit), so
+//     benefit values are high across the board;
+//   * the schema is completely different ({verified, language,
+//     account_age, activity}), exercising the pipeline's schema
+//     independence end to end.
+
+#ifndef SIGHT_SIM_TWITTER_GENERATOR_H_
+#define SIGHT_SIM_TWITTER_GENERATOR_H_
+
+#include "graph/profile.h"
+#include "sim/facebook_generator.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sight::sim {
+
+/// {verified, language, account_age, activity}.
+ProfileSchema TwitterSchema();
+
+/// Attribute order of TwitterSchema().
+enum class TwitterAttribute : uint8_t {
+  kVerified = 0,
+  kLanguage = 1,
+  kAccountAge = 2,
+  kActivity = 3,
+};
+
+struct TwitterGeneratorConfig {
+  /// Accounts the owner mutually follows.
+  size_t num_followed = 120;
+  /// Two-hop strangers to generate.
+  size_t num_strangers = 600;
+  /// Celebrity hubs: followed by a large share of everyone.
+  size_t num_celebrities = 6;
+  /// Probability that a followed account is a celebrity hub.
+  double celebrity_follow_prob = 0.3;
+  /// Probability a non-hub followed account shares the owner's language.
+  double same_language_prob = 0.5;
+  double verified_fraction = 0.08;
+
+  Status Validate() const;
+};
+
+/// Generates an OwnerDataset whose profiles use TwitterSchema(). The
+/// owner's "friends" are the mutually-followed accounts; strangers are
+/// accounts mutually followed by those.
+class TwitterGenerator {
+ public:
+  static Result<TwitterGenerator> Create(TwitterGeneratorConfig config);
+
+  Result<OwnerDataset> Generate(Rng* rng) const;
+
+  const TwitterGeneratorConfig& config() const { return config_; }
+
+ private:
+  explicit TwitterGenerator(TwitterGeneratorConfig config)
+      : config_(config) {}
+
+  TwitterGeneratorConfig config_;
+};
+
+}  // namespace sight::sim
+
+#endif  // SIGHT_SIM_TWITTER_GENERATOR_H_

@@ -1,0 +1,64 @@
+#include "sim/visibility_model.h"
+
+#include <algorithm>
+
+namespace sight::sim {
+namespace {
+
+// Paper Table V: visibility (fraction) of profile items per locale.
+// Item order: wall, photo, friend, location, education, work, hometown.
+// Locale order: TR, DE, US, IT, GB, ES, PL.
+constexpr double kLocaleRates[7][kNumProfileItems] = {
+    // wall  photo friend loc   edu   work  hometown
+    {0.20, 0.84, 0.41, 0.36, 0.31, 0.15, 0.32},  // TR
+    {0.20, 0.77, 0.46, 0.34, 0.17, 0.17, 0.34},  // DE
+    {0.17, 0.89, 0.52, 0.42, 0.34, 0.18, 0.37},  // US
+    {0.27, 0.92, 0.68, 0.32, 0.38, 0.14, 0.41},  // IT
+    {0.12, 0.91, 0.46, 0.38, 0.25, 0.17, 0.32},  // GB
+    {0.22, 0.87, 0.63, 0.37, 0.28, 0.13, 0.37},  // ES
+    {0.31, 0.95, 0.72, 0.33, 0.23, 0.13, 0.31},  // PL
+};
+
+// Paper Table IV: visibility by gender.
+constexpr double kMaleRates[kNumProfileItems] = {0.25, 0.88, 0.56, 0.42,
+                                                 0.35, 0.20, 0.41};
+constexpr double kFemaleRates[kNumProfileItems] = {0.16, 0.87, 0.47, 0.32,
+                                                   0.28, 0.12, 0.30};
+
+}  // namespace
+
+double LocaleVisibilityRate(ProfileItem item, Locale locale) {
+  size_t i = static_cast<size_t>(item);
+  size_t l = static_cast<size_t>(locale);
+  if (l < 7) return kLocaleRates[l][i];
+  // kIN: average of the seven reported locales.
+  double sum = 0.0;
+  for (size_t row = 0; row < 7; ++row) sum += kLocaleRates[row][i];
+  return sum / 7.0;
+}
+
+double GenderVisibilityRate(ProfileItem item, Gender gender) {
+  size_t i = static_cast<size_t>(item);
+  return gender == Gender::kMale ? kMaleRates[i] : kFemaleRates[i];
+}
+
+double VisibilityProbability(ProfileItem item, Gender gender, Locale locale) {
+  double base = LocaleVisibilityRate(item, locale);
+  double gap = GenderVisibilityRate(item, Gender::kMale) -
+               GenderVisibilityRate(item, Gender::kFemale);
+  double offset = gender == Gender::kMale ? gap / 2.0 : -gap / 2.0;
+  return std::clamp(base + offset, 0.0, 1.0);
+}
+
+uint8_t SampleVisibilityMask(Gender gender, Locale locale, Rng* rng) {
+  uint8_t mask = 0;
+  for (ProfileItem item : kAllProfileItems) {
+    if (rng->Bernoulli(VisibilityProbability(item, gender, locale))) {
+      mask = static_cast<uint8_t>(mask |
+                                  (1u << static_cast<uint8_t>(item)));
+    }
+  }
+  return mask;
+}
+
+}  // namespace sight::sim

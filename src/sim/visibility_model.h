@@ -1,0 +1,41 @@
+// Visibility sampling calibrated to the paper's own measurements.
+//
+// The paper reports item visibility by gender (Table IV) and by locale
+// (Table V). We use those percentages as *generation parameters*: a
+// stranger's item visibility is Bernoulli with probability
+//
+//   p(item, gender, locale) = clamp01(locale_rate(item, locale)
+//                                     + gender_offset(item, gender))
+//
+// where the gender offset is +/- half the male-female gap of Table IV.
+// The Table IV/V reproduction benches then validate the full pipeline by
+// measuring these same statistics back from the generated population.
+
+#ifndef SIGHT_SIM_VISIBILITY_MODEL_H_
+#define SIGHT_SIM_VISIBILITY_MODEL_H_
+
+#include <array>
+
+#include "graph/visibility.h"
+#include "sim/schema.h"
+#include "util/random.h"
+
+namespace sight::sim {
+
+/// Table V rate (fraction in [0,1]) for an item/locale pair. Locale kIN is
+/// not in the paper's table; it uses the seven-locale average.
+double LocaleVisibilityRate(ProfileItem item, Locale locale);
+
+/// Table IV rates by gender.
+double GenderVisibilityRate(ProfileItem item, Gender gender);
+
+/// Combined generation probability (locale base + gender offset), clamped
+/// to [0, 1].
+double VisibilityProbability(ProfileItem item, Gender gender, Locale locale);
+
+/// Samples a full 7-item visibility mask for a stranger.
+uint8_t SampleVisibilityMask(Gender gender, Locale locale, Rng* rng);
+
+}  // namespace sight::sim
+
+#endif  // SIGHT_SIM_VISIBILITY_MODEL_H_

@@ -1,0 +1,49 @@
+#include "similarity/baselines.h"
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace sight {
+
+double JaccardSimilarity(const SocialGraph& graph, UserId a, UserId b) {
+  if (!graph.HasUser(a) || !graph.HasUser(b)) return 0.0;
+  size_t mutual = MutualFriendCount(graph, a, b);
+  size_t uni = graph.Degree(a) + graph.Degree(b) - mutual;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(mutual) / static_cast<double>(uni);
+}
+
+double CommonNeighborsScore(const SocialGraph& graph, UserId a, UserId b) {
+  return static_cast<double>(MutualFriendCount(graph, a, b));
+}
+
+double AdamicAdarScore(const SocialGraph& graph, UserId a, UserId b) {
+  double score = 0.0;
+  for (UserId m : MutualFriends(graph, a, b)) {
+    size_t deg = graph.Degree(m);
+    if (deg > 1) score += 1.0 / std::log(static_cast<double>(deg));
+  }
+  return score;
+}
+
+double CosineNeighborSimilarity(const SocialGraph& graph, UserId a,
+                                UserId b) {
+  if (!graph.HasUser(a) || !graph.HasUser(b)) return 0.0;
+  size_t da = graph.Degree(a);
+  size_t db = graph.Degree(b);
+  if (da == 0 || db == 0) return 0.0;
+  return static_cast<double>(MutualFriendCount(graph, a, b)) /
+         std::sqrt(static_cast<double>(da) * static_cast<double>(db));
+}
+
+double OverlapCoefficient(const SocialGraph& graph, UserId a, UserId b) {
+  if (!graph.HasUser(a) || !graph.HasUser(b)) return 0.0;
+  size_t da = graph.Degree(a);
+  size_t db = graph.Degree(b);
+  if (da == 0 || db == 0) return 0.0;
+  return static_cast<double>(MutualFriendCount(graph, a, b)) /
+         static_cast<double>(std::min(da, db));
+}
+
+}  // namespace sight

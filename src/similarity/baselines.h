@@ -1,0 +1,34 @@
+// Classic neighbor-set similarity baselines.
+//
+// The paper contrasts its NS measure against the "existing similarity
+// measures [12] which only consider mutual friends". These baselines are
+// used by the ablation bench to show what the density term adds.
+
+#ifndef SIGHT_SIMILARITY_BASELINES_H_
+#define SIGHT_SIMILARITY_BASELINES_H_
+
+#include "graph/social_graph.h"
+#include "graph/types.h"
+
+namespace sight {
+
+/// |N(a) ∩ N(b)| / |N(a) ∪ N(b)|; 0 when both neighborhoods are empty.
+double JaccardSimilarity(const SocialGraph& graph, UserId a, UserId b);
+
+/// Raw mutual-friend count.
+double CommonNeighborsScore(const SocialGraph& graph, UserId a, UserId b);
+
+/// Sum over mutual friends m of 1 / log(deg(m)); friends of degree <= 1
+/// contribute 0 (they connect nothing).
+double AdamicAdarScore(const SocialGraph& graph, UserId a, UserId b);
+
+/// |N(a) ∩ N(b)| / sqrt(|N(a)| * |N(b)|); 0 when either is isolated.
+double CosineNeighborSimilarity(const SocialGraph& graph, UserId a, UserId b);
+
+/// Common neighbors normalized by the smaller neighborhood (overlap
+/// coefficient); 0 when either is isolated.
+double OverlapCoefficient(const SocialGraph& graph, UserId a, UserId b);
+
+}  // namespace sight
+
+#endif  // SIGHT_SIMILARITY_BASELINES_H_

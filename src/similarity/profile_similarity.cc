@@ -1,0 +1,95 @@
+#include "similarity/profile_similarity.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace sight {
+
+ValueFrequencyTable ValueFrequencyTable::Build(
+    const ProfileTable& table, const std::vector<UserId>& users) {
+  ValueFrequencyTable result;
+  size_t num_attrs = table.schema().num_attributes();
+  result.counts_.resize(num_attrs);
+  result.totals_.assign(num_attrs, 0);
+  for (UserId u : users) {
+    const Profile& p = table.Get(u);
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      if (p.IsMissing(a)) continue;
+      ++result.counts_[a][p.value(a)];
+      ++result.totals_[a];
+    }
+  }
+  return result;
+}
+
+double ValueFrequencyTable::Frequency(AttributeId attr,
+                                      const std::string& value) const {
+  if (attr >= counts_.size() || totals_[attr] == 0) return 0.0;
+  auto it = counts_[attr].find(value);
+  if (it == counts_[attr].end()) return 0.0;
+  return static_cast<double>(it->second) /
+         static_cast<double>(totals_[attr]);
+}
+
+size_t ValueFrequencyTable::Support(AttributeId attr) const {
+  return attr < totals_.size() ? totals_[attr] : 0;
+}
+
+size_t ValueFrequencyTable::NumDistinct(AttributeId attr) const {
+  return attr < counts_.size() ? counts_[attr].size() : 0;
+}
+
+Result<ProfileSimilarity> ProfileSimilarity::Create(
+    const ProfileSchema& schema, std::vector<double> weights) {
+  size_t n = schema.num_attributes();
+  if (n == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  if (weights.empty()) {
+    weights.assign(n, 1.0 / static_cast<double>(n));
+    return ProfileSimilarity(std::move(weights));
+  }
+  if (weights.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu weights for %zu attributes", weights.size(), n));
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("attribute weights must be >= 0");
+    }
+    sum += w;
+  }
+  if (!(sum > 0.0)) {
+    return Status::InvalidArgument("attribute weights must not all be zero");
+  }
+  for (double& w : weights) w /= sum;
+  return ProfileSimilarity(std::move(weights));
+}
+
+double ProfileSimilarity::Compute(const Profile& a, const Profile& b,
+                                  const ValueFrequencyTable& freqs) const {
+  double total = 0.0;
+  for (AttributeId attr = 0; attr < weights_.size(); ++attr) {
+    if (a.IsMissing(attr) || b.IsMissing(attr)) continue;
+    const std::string& va = a.value(attr);
+    const std::string& vb = b.value(attr);
+    double sim;
+    if (va == vb) {
+      sim = 1.0;
+    } else {
+      sim = std::min(freqs.Frequency(attr, va), freqs.Frequency(attr, vb));
+    }
+    total += weights_[attr] * sim;
+  }
+  return total;
+}
+
+double ProfileSimilarity::Compute(const ProfileTable& table, UserId a,
+                                  UserId b,
+                                  const ValueFrequencyTable& freqs) const {
+  return Compute(table.Get(a), table.Get(b), freqs);
+}
+
+}  // namespace sight

@@ -1,0 +1,83 @@
+// Profile similarity PS(a, b) between two categorical profiles.
+//
+// Reconstruction of the PS measure of Akcora et al. (IRI 2011) as described
+// in the risk paper (Section III-C): "For each attribute, if values are
+// identical on both profiles the attribute similarity is set to 1. If they
+// are non-identical, a non-zero value is computed by considering the
+// frequency of the item values in the data set (i.e., the profiles in the
+// considered pool)."
+//
+// Concretely, attribute similarity for differing values va != vb is
+// min(f(va), f(vb)) where f is the relative frequency of the value in the
+// reference population: sharing a *common* trait variant is weaker evidence
+// of dissimilarity than clashing on rare variants, so common-but-different
+// values keep some similarity mass. Missing values contribute 0. The total
+// is the weighted mean over attributes.
+
+#ifndef SIGHT_SIMILARITY_PROFILE_SIMILARITY_H_
+#define SIGHT_SIMILARITY_PROFILE_SIMILARITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/profile.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sight {
+
+/// Per-attribute relative frequencies of values in a reference population
+/// (typically the profiles of the pool under consideration).
+class ValueFrequencyTable {
+ public:
+  /// Builds frequencies from the profiles of `users` in `table`.
+  /// Missing values are excluded from the denominators.
+  static ValueFrequencyTable Build(const ProfileTable& table,
+                                   const std::vector<UserId>& users);
+
+  /// Relative frequency of `value` for `attr` in [0, 1]; 0 for unseen
+  /// values or empty populations.
+  double Frequency(AttributeId attr, const std::string& value) const;
+
+  /// Count of non-missing observations for `attr`.
+  size_t Support(AttributeId attr) const;
+
+  /// Number of distinct values observed for `attr`.
+  size_t NumDistinct(AttributeId attr) const;
+
+  size_t num_attributes() const { return counts_.size(); }
+
+ private:
+  std::vector<std::unordered_map<std::string, size_t>> counts_;
+  std::vector<size_t> totals_;
+};
+
+/// PS over a fixed schema with per-attribute weights.
+class ProfileSimilarity {
+ public:
+  /// `weights` must have one non-negative entry per schema attribute with a
+  /// positive sum. Pass an empty vector for uniform weights.
+  static Result<ProfileSimilarity> Create(const ProfileSchema& schema,
+                                          std::vector<double> weights = {});
+
+  /// PS(a, b) in [0, 1] with frequencies from `freqs`.
+  double Compute(const Profile& a, const Profile& b,
+                 const ValueFrequencyTable& freqs) const;
+
+  /// Convenience over users in a table.
+  double Compute(const ProfileTable& table, UserId a, UserId b,
+                 const ValueFrequencyTable& freqs) const;
+
+  const std::vector<double>& normalized_weights() const { return weights_; }
+
+ private:
+  explicit ProfileSimilarity(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  std::vector<double> weights_;  // normalized to sum 1
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_SIMILARITY_PROFILE_SIMILARITY_H_

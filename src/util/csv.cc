@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace sight {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+bool CsvReader::Next(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  fields->clear();
+
+  int c = input_->get();
+  // Skip a trailing newline sequence left by the previous record.
+  if (c == std::istream::traits_type::eof()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool field_started_quoted = false;
+  while (true) {
+    if (c == std::istream::traits_type::eof()) {
+      if (in_quotes) {
+        status_ = Status::InvalidArgument(StrFormatRecord(
+            "unterminated quoted field", records_read_));
+        return false;
+      }
+      fields->push_back(std::move(field));
+      ++records_read_;
+      return true;
+    }
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        int peek = input_->peek();
+        if (peek == '"') {
+          input_->get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty() && !field_started_quoted) {
+      in_quotes = true;
+      field_started_quoted = true;
+    } else if (ch == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      field_started_quoted = false;
+    } else if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && input_->peek() == '\n') input_->get();
+      fields->push_back(std::move(field));
+      ++records_read_;
+      return true;
+    } else {
+      if (field_started_quoted) {
+        status_ = Status::InvalidArgument(StrFormatRecord(
+            "data after closing quote", records_read_));
+        return false;
+      }
+      field += ch;
+    }
+    c = input_->get();
+  }
+}
+
+std::string CsvReader::StrFormatRecord(const char* what, size_t record) {
+  std::ostringstream os;
+  os << "malformed CSV (" << what << ") near record " << record + 1;
+  return os.str();
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::Write(std::ostream& os) const { os << ToString(); }
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << CsvEscape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace sight

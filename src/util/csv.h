@@ -1,0 +1,64 @@
+// CSV reading and writing (RFC 4180 quoting) for experiment output files
+// and the io/ dataset loaders.
+
+#ifndef SIGHT_UTIL_CSV_H_
+#define SIGHT_UTIL_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sight {
+
+/// Escapes a single CSV field (quotes when it contains comma/quote/newline).
+std::string CsvEscape(const std::string& field);
+
+/// Accumulates rows and writes them comma-separated with proper quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  void Write(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV record reader (RFC 4180: quoted fields may contain
+/// commas, doubled quotes, and newlines).
+class CsvReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit CsvReader(std::istream* input) : input_(input) {}
+
+  /// Reads the next record into `fields`. Returns true on success, false
+  /// on clean end-of-input; malformed quoting yields an error status via
+  /// `status()` and false.
+  bool Next(std::vector<std::string>* fields);
+
+  /// OK unless a malformed record was encountered.
+  const Status& status() const { return status_; }
+
+  /// Records successfully read so far (for error messages).
+  size_t records_read() const { return records_read_; }
+
+ private:
+  static std::string StrFormatRecord(const char* what, size_t record);
+
+  std::istream* input_;
+  Status status_;
+  size_t records_read_ = 0;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_UTIL_CSV_H_

@@ -1,0 +1,81 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sight {
+
+Result<Histogram> Histogram::Create(size_t num_bins, double lo, double hi) {
+  if (num_bins == 0) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument(
+        StrFormat("histogram range invalid: [%f, %f]", lo, hi));
+  }
+  return Histogram(num_bins, lo, hi);
+}
+
+Histogram::Histogram(size_t num_bins, double lo, double hi)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0) {}
+
+void Histogram::Add(double value) {
+  if (value < lo_ || std::isnan(value)) {
+    ++underflow_;
+    return;
+  }
+  if (value > hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t bin = value >= hi_ ? counts_.size() - 1
+                            : static_cast<size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_in_range_;
+  sum_in_range_ += value;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+Result<size_t> Histogram::BinIndex(double value) const {
+  if (value < lo_ || value > hi_ || std::isnan(value)) {
+    return Status::OutOfRange(
+        StrFormat("value %f outside histogram range [%f, %f]", value, lo_,
+                  hi_));
+  }
+  if (value >= hi_) return counts_.size() - 1;
+  size_t bin = static_cast<size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  return bin;
+}
+
+double Histogram::bin_lower(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(size_t bin) const {
+  return bin + 1 == counts_.size() ? hi_
+                                   : lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::vector<double> Histogram::NormalizedCounts() const {
+  std::vector<double> result(counts_.size(), 0.0);
+  if (total_in_range_ == 0) return result;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    result[i] = static_cast<double>(counts_[i]) /
+                static_cast<double>(total_in_range_);
+  }
+  return result;
+}
+
+double Histogram::Mean() const {
+  if (total_in_range_ == 0) return 0.0;
+  return sum_in_range_ / static_cast<double>(total_in_range_);
+}
+
+}  // namespace sight

@@ -1,0 +1,63 @@
+// Fixed-bin histogram over a closed real interval.
+//
+// Used for the network-similarity-group style bucketing in reports and for
+// summarizing distributions in benches and tests.
+
+#ifndef SIGHT_UTIL_HISTOGRAM_H_
+#define SIGHT_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sight {
+
+/// Histogram with `num_bins` equal-width bins covering [lo, hi].
+///
+/// Values equal to `hi` land in the last bin (the bins behave as
+/// [lo, lo+w), ..., [hi-w, hi]); values outside [lo, hi] are counted as
+/// underflow/overflow and excluded from bin counts.
+class Histogram {
+ public:
+  static Result<Histogram> Create(size_t num_bins, double lo, double hi);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t bin) const { return counts_[bin]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total_in_range() const { return total_in_range_; }
+
+  /// Index of the bin `value` falls into; error when out of range.
+  Result<size_t> BinIndex(double value) const;
+
+  /// Inclusive-exclusive bounds of a bin (last bin inclusive of hi).
+  double bin_lower(size_t bin) const;
+  double bin_upper(size_t bin) const;
+
+  /// Fraction of in-range values per bin (all zeros when empty).
+  std::vector<double> NormalizedCounts() const;
+
+  /// Mean of added in-range values (0 when empty).
+  double Mean() const;
+
+ private:
+  Histogram(size_t num_bins, double lo, double hi);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_in_range_ = 0;
+  double sum_in_range_ = 0.0;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,38 @@
+// Minimal check/logging macros for invariant enforcement.
+//
+// SIGHT_CHECK(cond) aborts with a message when `cond` is false. Checks are
+// reserved for programming errors (violated invariants); recoverable
+// conditions are reported through Status instead.
+
+#ifndef SIGHT_UTIL_LOGGING_H_
+#define SIGHT_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sight::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, condition);
+  std::abort();
+}
+
+}  // namespace sight::internal
+
+#define SIGHT_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::sight::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define SIGHT_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define SIGHT_DCHECK(cond) SIGHT_CHECK(cond)
+#endif
+
+#endif  // SIGHT_UTIL_LOGGING_H_

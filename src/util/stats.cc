@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace sight {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void SampleStats::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double ss = 0.0;
+  for (double v : samples_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Percentile(double p) const {
+  SIGHT_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace sight

@@ -1,0 +1,38 @@
+// Scalar summary statistics over samples (mean/stddev/min/max/percentiles).
+
+#ifndef SIGHT_UTIL_STATS_H_
+#define SIGHT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sight {
+
+/// Running summary of double-valued samples.
+///
+/// Percentile() sorts an internal copy lazily; Add() invalidates the cache.
+class SampleStats {
+ public:
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const { return sum_; }
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_UTIL_STATS_H_

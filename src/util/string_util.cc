@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sight {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(sep);
+    result += parts[i];
+  }
+  return result;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  const char* ws = " \t\r\n\f\v";
+  size_t begin = text.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  size_t end = text.find_last_not_of(ws);
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return result;
+}
+
+std::string FormatDouble(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return StrFormat("%.*f%%", digits, fraction * 100.0);
+}
+
+}  // namespace sight

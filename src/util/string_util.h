@@ -1,0 +1,37 @@
+// Small string helpers used across the library (no locale dependence).
+
+#ifndef SIGHT_UTIL_STRING_UTIL_H_
+#define SIGHT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sight {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on every occurrence of `sep` (empty fields preserved).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Formats `value` with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a [0,1] fraction as a percentage, e.g. 0.417 -> "42%" (digits=0)
+/// or "41.7%" (digits=1).
+std::string FormatPercent(double fraction, int digits = 0);
+
+}  // namespace sight
+
+#endif  // SIGHT_UTIL_STRING_UTIL_H_

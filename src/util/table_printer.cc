@@ -1,0 +1,87 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace sight {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ',') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToCsv() const {
+  CsvWriter writer(header_);
+  for (const auto& row : rows_) writer.AddRow(row);
+  return writer.ToString();
+}
+
+std::string TablePrinter::ToString() const {
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+
+  std::vector<size_t> widths(num_cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string();
+      if (i > 0) os << "  ";
+      if (LooksNumeric(cell)) {
+        os << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+
+  emit(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < num_cols; ++i) total += widths[i] + (i > 0 ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace sight

@@ -1,0 +1,52 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every reproduction bench prints the paper's tables/figure series through
+// this printer so that output is uniform and diffable.
+
+#ifndef SIGHT_UTIL_TABLE_PRINTER_H_
+#define SIGHT_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sight {
+
+/// Column-aligned ASCII tables.
+///
+///   TablePrinter t({"item", "visibility"});
+///   t.AddRow({"wall", "25%"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with empty
+  /// cells; longer rows extend the table width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, remaining cells are formatted
+  /// doubles with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header separator; numeric-looking cells right-aligned.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  /// Renders header + rows as RFC 4180 CSV (for piping bench output into
+  /// plotting scripts).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_UTIL_TABLE_PRINTER_H_

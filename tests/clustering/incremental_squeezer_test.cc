@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "clustering/squeezer.h"
+#include "graph/profile.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale"}).value();
+}
+
+ProfileTable TwoGroupPopulation() {
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  for (UserId u = 0; u < 4; ++u) set(u, {"male", "tr_TR"});
+  for (UserId u = 4; u < 8; ++u) set(u, {"female", "en_US"});
+  return table;
+}
+
+IncrementalSqueezer MakeIncremental(double threshold = 0.4) {
+  SqueezerConfig config;
+  config.threshold = threshold;
+  return IncrementalSqueezer::Create(TestSchema(), config).value();
+}
+
+TEST(IncrementalSqueezerTest, StartsEmpty) {
+  IncrementalSqueezer inc = MakeIncremental();
+  EXPECT_EQ(inc.num_clusters(), 0u);
+  EXPECT_EQ(inc.num_points(), 0u);
+}
+
+TEST(IncrementalSqueezerTest, MatchesBatchSqueezerOnSameOrder) {
+  ProfileTable table = TwoGroupPopulation();
+  std::vector<UserId> users = {0, 4, 1, 5, 2, 6, 3, 7};
+
+  SqueezerConfig config;
+  config.threshold = 0.4;
+  auto batch = Squeezer::Create(TestSchema(), config)
+                   .value()
+                   .Cluster(table, users)
+                   .value();
+
+  IncrementalSqueezer inc = MakeIncremental();
+  ASSERT_TRUE(inc.AddBatch(table, users).ok());
+  EXPECT_EQ(inc.clustering().assignments, batch.assignments);
+  EXPECT_EQ(inc.clustering().clusters, batch.clusters);
+}
+
+TEST(IncrementalSqueezerTest, LaterBatchJoinsEarlierClusters) {
+  ProfileTable table = TwoGroupPopulation();
+  IncrementalSqueezer inc = MakeIncremental();
+  ASSERT_TRUE(inc.AddBatch(table, {0, 4}).ok());
+  EXPECT_EQ(inc.num_clusters(), 2u);
+
+  // Second "discovery wave": same profile groups, no new clusters.
+  auto assigned = inc.AddBatch(table, {1, 2, 5, 6}).value();
+  EXPECT_EQ(inc.num_clusters(), 2u);
+  EXPECT_EQ(assigned[0], 0u);  // male/tr joins cluster of user 0
+  EXPECT_EQ(assigned[2], 1u);  // female/us joins cluster of user 4
+}
+
+TEST(IncrementalSqueezerTest, AssignmentsNeverChangeRetroactively) {
+  ProfileTable table = TwoGroupPopulation();
+  IncrementalSqueezer inc = MakeIncremental();
+  ASSERT_TRUE(inc.AddBatch(table, {0, 1}).ok());
+  std::vector<size_t> before = inc.clustering().assignments;
+  ASSERT_TRUE(inc.AddBatch(table, {4, 5, 2}).ok());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(inc.clustering().assignments[i], before[i]);
+  }
+}
+
+TEST(IncrementalSqueezerTest, AddReturnsClusterIndex) {
+  ProfileTable table = TwoGroupPopulation();
+  IncrementalSqueezer inc = MakeIncremental();
+  EXPECT_EQ(inc.Add(table, 0).value(), 0u);
+  EXPECT_EQ(inc.Add(table, 1).value(), 0u);
+  EXPECT_EQ(inc.Add(table, 4).value(), 1u);
+  EXPECT_EQ(inc.num_points(), 3u);
+}
+
+TEST(IncrementalSqueezerTest, SchemaMismatchRejected) {
+  ProfileTable other(ProfileSchema::Create({"a", "b", "c"}).value());
+  IncrementalSqueezer inc = MakeIncremental();
+  EXPECT_FALSE(inc.Add(other, 0).ok());
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,141 @@
+#include "clustering/kmodes.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+#include "util/random.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale"}).value();
+}
+
+ProfileTable TwoGroupPopulation() {
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  for (UserId u = 0; u < 5; ++u) set(u, {"male", "tr_TR"});
+  for (UserId u = 5; u < 10; ++u) set(u, {"female", "en_US"});
+  return table;
+}
+
+TEST(KModesTest, CreateValidates) {
+  KModesConfig config;
+  config.k = 0;
+  EXPECT_FALSE(KModes::Create(TestSchema(), config).ok());
+  config.k = 2;
+  config.weights = {1.0};
+  EXPECT_FALSE(KModes::Create(TestSchema(), config).ok());
+  config.weights = {1.0, -1.0};
+  EXPECT_FALSE(KModes::Create(TestSchema(), config).ok());
+  config.weights = {};
+  EXPECT_TRUE(KModes::Create(TestSchema(), config).ok());
+}
+
+TEST(KModesTest, DistanceCountsMismatches) {
+  KModesConfig config;
+  config.k = 2;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Profile p;
+  p.values = {"male", "tr_TR"};
+  EXPECT_DOUBLE_EQ(km.Distance(p, {"male", "tr_TR"}), 0.0);
+  EXPECT_DOUBLE_EQ(km.Distance(p, {"male", "en_US"}), 1.0);
+  EXPECT_DOUBLE_EQ(km.Distance(p, {"female", "en_US"}), 2.0);
+}
+
+TEST(KModesTest, MissingValueIsAlwaysMismatch) {
+  KModesConfig config;
+  config.k = 2;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Profile p;
+  p.values = {"", "tr_TR"};
+  EXPECT_DOUBLE_EQ(km.Distance(p, {"", "tr_TR"}), 1.0);
+}
+
+TEST(KModesTest, RecoversTwoGroups) {
+  ProfileTable table = TwoGroupPopulation();
+  KModesConfig config;
+  config.k = 2;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Rng rng(1234);
+  std::vector<UserId> users(10);
+  for (UserId u = 0; u < 10; ++u) users[u] = u;
+  auto clustering = km.Cluster(table, users, &rng).value();
+  EXPECT_EQ(clustering.num_clusters(), 2u);
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(clustering.assignments[i], clustering.assignments[0]);
+  }
+  for (size_t i = 6; i < 10; ++i) {
+    EXPECT_EQ(clustering.assignments[i], clustering.assignments[5]);
+  }
+}
+
+TEST(KModesTest, KCappedByInput) {
+  ProfileTable table = TwoGroupPopulation();
+  KModesConfig config;
+  config.k = 50;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Rng rng(5);
+  auto clustering = km.Cluster(table, {0, 1, 5}, &rng).value();
+  EXPECT_LE(clustering.num_clusters(), 3u);
+  EXPECT_EQ(clustering.assignments.size(), 3u);
+}
+
+TEST(KModesTest, EmptyInput) {
+  ProfileTable table = TwoGroupPopulation();
+  KModesConfig config;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Rng rng(5);
+  auto clustering = km.Cluster(table, {}, &rng).value();
+  EXPECT_EQ(clustering.num_clusters(), 0u);
+}
+
+TEST(KModesTest, PartitionInvariant) {
+  ProfileTable table = TwoGroupPopulation();
+  KModesConfig config;
+  config.k = 3;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Rng rng(77);
+  std::vector<UserId> users = {0, 5, 1, 6, 2, 7};
+  auto clustering = km.Cluster(table, users, &rng).value();
+  size_t total = 0;
+  for (const auto& c : clustering.clusters) total += c.size();
+  EXPECT_EQ(total, users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    ASSERT_LT(clustering.assignments[i], clustering.num_clusters());
+  }
+}
+
+TEST(KModesTest, DeterministicGivenSeed) {
+  ProfileTable table = TwoGroupPopulation();
+  KModesConfig config;
+  config.k = 2;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  std::vector<UserId> users(10);
+  for (UserId u = 0; u < 10; ++u) users[u] = u;
+  Rng rng1(9);
+  Rng rng2(9);
+  auto c1 = km.Cluster(table, users, &rng1).value();
+  auto c2 = km.Cluster(table, users, &rng2).value();
+  EXPECT_EQ(c1.assignments, c2.assignments);
+}
+
+TEST(KModesTest, SchemaMismatchRejected) {
+  ProfileSchema other = ProfileSchema::Create({"a"}).value();
+  ProfileTable table(other);
+  KModesConfig config;
+  KModes km = KModes::Create(TestSchema(), config).value();
+  Rng rng(3);
+  EXPECT_EQ(km.Cluster(table, {}, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,74 @@
+#include "clustering/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(PurityTest, PerfectClustering) {
+  std::vector<size_t> assignments = {0, 0, 1, 1};
+  std::vector<size_t> truth = {7, 7, 9, 9};
+  EXPECT_DOUBLE_EQ(ClusterPurity(assignments, truth).value(), 1.0);
+}
+
+TEST(PurityTest, MixedCluster) {
+  std::vector<size_t> assignments = {0, 0, 0, 0};
+  std::vector<size_t> truth = {1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(ClusterPurity(assignments, truth).value(), 0.75);
+}
+
+TEST(PurityTest, SingletonClustersAlwaysPure) {
+  std::vector<size_t> assignments = {0, 1, 2, 3};
+  std::vector<size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusterPurity(assignments, truth).value(), 1.0);
+}
+
+TEST(PurityTest, RejectsBadInput) {
+  EXPECT_FALSE(ClusterPurity({0, 1}, {0}).ok());
+  EXPECT_FALSE(ClusterPurity({}, {}).ok());
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  std::vector<size_t> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, a).value(), 1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabeledPartitionStillScoresOne) {
+  std::vector<size_t> a = {0, 0, 1, 1};
+  std::vector<size_t> b = {5, 5, 3, 3};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreZero) {
+  // Every (cluster, class) cell has equal mass -> zero mutual information.
+  std::vector<size_t> a = {0, 0, 1, 1};
+  std::vector<size_t> b = {0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b).value(), 0.0, 1e-12);
+}
+
+TEST(NmiTest, DegenerateSingleClusterBoth) {
+  std::vector<size_t> a = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, a).value(), 1.0);
+}
+
+TEST(NmiTest, SingleClusterVsRealPartitionScoresZero) {
+  std::vector<size_t> a = {0, 0, 0, 0};
+  std::vector<size_t> b = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b).value(), 0.0);
+}
+
+TEST(NmiTest, IntermediateValue) {
+  std::vector<size_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<size_t> b = {0, 0, 1, 1, 1, 1};
+  double nmi = NormalizedMutualInformation(a, b).value();
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(NmiTest, RejectsBadInput) {
+  EXPECT_FALSE(NormalizedMutualInformation({0}, {0, 1}).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,206 @@
+#include "clustering/squeezer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale"}).value();
+}
+
+ProfileTable TwoGroupPopulation() {
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  // Group A: male/tr (users 0-3); group B: female/us (users 4-7).
+  for (UserId u = 0; u < 4; ++u) set(u, {"male", "tr_TR"});
+  for (UserId u = 4; u < 8; ++u) set(u, {"female", "en_US"});
+  return table;
+}
+
+Squeezer MakeSqueezer(double threshold,
+                      std::vector<double> weights = {}) {
+  SqueezerConfig config;
+  config.threshold = threshold;
+  config.weights = std::move(weights);
+  return Squeezer::Create(TestSchema(), config).value();
+}
+
+TEST(ClusterSummaryTest, TracksSupports) {
+  ClusterSummary summary(2);
+  Profile p;
+  p.values = {"male", "tr_TR"};
+  summary.Add(p);
+  summary.Add(p);
+  p.values = {"female", "tr_TR"};
+  summary.Add(p);
+  EXPECT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary.Support(0, "male"), 2u);
+  EXPECT_EQ(summary.Support(0, "female"), 1u);
+  EXPECT_EQ(summary.Support(0, "other"), 0u);
+  EXPECT_EQ(summary.TotalSupport(1), 3u);
+}
+
+TEST(ClusterSummaryTest, MissingValuesSkipped) {
+  ClusterSummary summary(2);
+  Profile p;
+  p.values = {"male", ""};
+  summary.Add(p);
+  EXPECT_EQ(summary.TotalSupport(0), 1u);
+  EXPECT_EQ(summary.TotalSupport(1), 0u);
+}
+
+TEST(SqueezerTest, CreateValidates) {
+  SqueezerConfig config;
+  config.threshold = 1.5;
+  EXPECT_FALSE(Squeezer::Create(TestSchema(), config).ok());
+  config.threshold = 0.4;
+  config.weights = {1.0};
+  EXPECT_FALSE(Squeezer::Create(TestSchema(), config).ok());
+  config.weights = {-1.0, 1.0};
+  EXPECT_FALSE(Squeezer::Create(TestSchema(), config).ok());
+  config.weights = {0.0, 0.0};
+  EXPECT_FALSE(Squeezer::Create(TestSchema(), config).ok());
+  config.weights = {};
+  EXPECT_TRUE(Squeezer::Create(TestSchema(), config).ok());
+}
+
+TEST(SqueezerTest, SimilarityToMatchingClusterIsOne) {
+  Squeezer squeezer = MakeSqueezer(0.4);
+  ClusterSummary summary(2);
+  Profile p;
+  p.values = {"male", "tr_TR"};
+  summary.Add(p);
+  summary.Add(p);
+  EXPECT_DOUBLE_EQ(squeezer.Similarity(p, summary), 1.0);
+}
+
+TEST(SqueezerTest, SimilarityToEmptyClusterIsZero) {
+  Squeezer squeezer = MakeSqueezer(0.4);
+  ClusterSummary summary(2);
+  Profile p;
+  p.values = {"male", "tr_TR"};
+  EXPECT_DOUBLE_EQ(squeezer.Similarity(p, summary), 0.0);
+}
+
+TEST(SqueezerTest, SimilarityIsSupportFraction) {
+  Squeezer squeezer = MakeSqueezer(0.4);
+  ClusterSummary summary(2);
+  Profile a;
+  a.values = {"male", "tr_TR"};
+  Profile b;
+  b.values = {"female", "tr_TR"};
+  summary.Add(a);
+  summary.Add(b);
+  // For b: gender support 1/2, locale 2/2 -> (0.5*0.5 + 0.5*1.0) = 0.75.
+  EXPECT_DOUBLE_EQ(squeezer.Similarity(b, summary), 0.75);
+}
+
+TEST(SqueezerTest, SeparatesDistinctGroups) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.4);
+  auto clustering =
+      squeezer.Cluster(table, {0, 1, 2, 3, 4, 5, 6, 7}).value();
+  EXPECT_EQ(clustering.num_clusters(), 2u);
+  // All of group A in one cluster, group B in the other.
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(clustering.assignments[i], clustering.assignments[0]);
+  }
+  for (size_t i = 5; i < 8; ++i) {
+    EXPECT_EQ(clustering.assignments[i], clustering.assignments[4]);
+  }
+  EXPECT_NE(clustering.assignments[0], clustering.assignments[4]);
+}
+
+TEST(SqueezerTest, ThresholdOneSplitsEverythingDissimilar) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(1.0);
+  auto clustering =
+      squeezer.Cluster(table, {0, 4, 1, 5}).value();
+  // Identical profiles still merge (similarity exactly 1.0 >= 1.0).
+  EXPECT_EQ(clustering.num_clusters(), 2u);
+}
+
+TEST(SqueezerTest, ThresholdZeroMergesEverything) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.0);
+  auto clustering =
+      squeezer.Cluster(table, {0, 1, 4, 5}).value();
+  EXPECT_EQ(clustering.num_clusters(), 1u);
+}
+
+TEST(SqueezerTest, EmptyInputYieldsNoClusters) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.4);
+  auto clustering = squeezer.Cluster(table, {}).value();
+  EXPECT_EQ(clustering.num_clusters(), 0u);
+  EXPECT_TRUE(clustering.assignments.empty());
+}
+
+TEST(SqueezerTest, SingleUserFormsSingleCluster) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.4);
+  auto clustering = squeezer.Cluster(table, {3}).value();
+  EXPECT_EQ(clustering.num_clusters(), 1u);
+  EXPECT_EQ(clustering.clusters[0], (std::vector<UserId>{3}));
+}
+
+TEST(SqueezerTest, ClustersPartitionTheInput) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.6);
+  std::vector<UserId> users = {0, 4, 1, 5, 2, 6, 3, 7};
+  auto clustering = squeezer.Cluster(table, users).value();
+  size_t total = 0;
+  for (const auto& c : clustering.clusters) total += c.size();
+  EXPECT_EQ(total, users.size());
+  ASSERT_EQ(clustering.assignments.size(), users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    const auto& members =
+        clustering.clusters[clustering.assignments[i]];
+    EXPECT_NE(std::find(members.begin(), members.end(), users[i]),
+              members.end());
+  }
+}
+
+TEST(SqueezerTest, WeightsSteerClustering) {
+  // With all weight on locale, gender differences are invisible.
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  set(0, {"male", "tr_TR"});
+  set(1, {"female", "tr_TR"});
+  set(2, {"male", "en_US"});
+  Squeezer squeezer = MakeSqueezer(0.5, {0.0, 1.0});
+  auto clustering = squeezer.Cluster(table, {0, 1, 2}).value();
+  EXPECT_EQ(clustering.num_clusters(), 2u);
+  EXPECT_EQ(clustering.assignments[0], clustering.assignments[1]);
+  EXPECT_NE(clustering.assignments[0], clustering.assignments[2]);
+}
+
+TEST(SqueezerTest, SchemaMismatchRejected) {
+  ProfileSchema other = ProfileSchema::Create({"a", "b", "c"}).value();
+  ProfileTable table(other);
+  Squeezer squeezer = MakeSqueezer(0.4);
+  EXPECT_EQ(squeezer.Cluster(table, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SqueezerTest, OnePassIsOrderDependentButDeterministic) {
+  ProfileTable table = TwoGroupPopulation();
+  Squeezer squeezer = MakeSqueezer(0.4);
+  auto c1 = squeezer.Cluster(table, {0, 1, 4, 5}).value();
+  auto c2 = squeezer.Cluster(table, {0, 1, 4, 5}).value();
+  EXPECT_EQ(c1.assignments, c2.assignments);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,134 @@
+#include "core/attribute_importance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+#include "graph/visibility.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale", "last_name"}).value();
+}
+
+// 20 strangers: label tracks gender perfectly, locale is half-informative,
+// last_name is pure noise.
+struct Fixture {
+  ProfileTable profiles{TestSchema()};
+  std::vector<UserId> strangers;
+  std::vector<RiskLabel> labels;
+
+  Fixture() {
+    for (UserId u = 0; u < 20; ++u) {
+      bool male = u % 2 == 0;
+      Profile p;
+      p.values = {male ? "male" : "female",
+                  u % 4 < 2 ? "tr_TR" : "en_US",
+                  "name" + std::to_string(u % 9)};
+      EXPECT_TRUE(profiles.Set(u, p).ok());
+      strangers.push_back(u);
+      labels.push_back(male ? RiskLabel::kVeryRisky : RiskLabel::kNotRisky);
+    }
+  }
+};
+
+TEST(ProfileAttributeImportanceTest, GenderDominatesWhenLabelsFollowGender) {
+  Fixture fx;
+  auto importances =
+      ProfileAttributeImportance(fx.profiles, fx.strangers, fx.labels)
+          .value();
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_EQ(importances[0].name, "gender");
+  EXPECT_GT(importances[0].importance, importances[1].importance);
+  EXPECT_GT(importances[0].importance, importances[2].importance);
+  EXPECT_GT(importances[0].importance, 0.8);
+}
+
+TEST(ProfileAttributeImportanceTest, ImportancesSumToOne) {
+  Fixture fx;
+  auto importances =
+      ProfileAttributeImportance(fx.profiles, fx.strangers, fx.labels)
+          .value();
+  double sum = 0.0;
+  for (const auto& ai : importances) sum += ai.importance;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ProfileAttributeImportanceTest, AllZeroGainsDegradeToUniform) {
+  // Labels constant: nothing is informative.
+  Fixture fx;
+  std::vector<RiskLabel> constant(fx.labels.size(), RiskLabel::kRisky);
+  auto importances =
+      ProfileAttributeImportance(fx.profiles, fx.strangers, constant).value();
+  for (const auto& ai : importances) {
+    EXPECT_NEAR(ai.importance, 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(ai.gain_ratio, 0.0);
+  }
+}
+
+TEST(ProfileAttributeImportanceTest, RejectsBadInput) {
+  Fixture fx;
+  EXPECT_FALSE(
+      ProfileAttributeImportance(fx.profiles, fx.strangers, {}).ok());
+  EXPECT_FALSE(ProfileAttributeImportance(fx.profiles, {}, {}).ok());
+}
+
+TEST(BenefitItemImportanceTest, VisibilityBitPredictingLabelsDominates) {
+  // Photo visibility tracks the label; other items are constant.
+  VisibilityTable visibility;
+  std::vector<UserId> strangers;
+  std::vector<RiskLabel> labels;
+  for (UserId u = 0; u < 20; ++u) {
+    bool photo_visible = u % 2 == 0;
+    visibility.SetVisible(u, ProfileItem::kPhoto, photo_visible);
+    visibility.SetVisible(u, ProfileItem::kWall, true);
+    strangers.push_back(u);
+    labels.push_back(photo_visible ? RiskLabel::kNotRisky
+                                   : RiskLabel::kVeryRisky);
+  }
+  auto importances =
+      BenefitItemImportance(visibility, strangers, labels).value();
+  ASSERT_EQ(importances.size(), kNumProfileItems);
+  // Item order matches kAllProfileItems: photo is index 1.
+  EXPECT_EQ(importances[1].name, "photo");
+  EXPECT_GT(importances[1].importance, 0.9);
+}
+
+TEST(BenefitItemImportanceTest, OrderMatchesAllProfileItems) {
+  VisibilityTable visibility;
+  std::vector<UserId> strangers = {0};
+  std::vector<RiskLabel> labels = {RiskLabel::kRisky};
+  auto importances =
+      BenefitItemImportance(visibility, strangers, labels).value();
+  ASSERT_EQ(importances.size(), kNumProfileItems);
+  for (size_t i = 0; i < kNumProfileItems; ++i) {
+    EXPECT_EQ(importances[i].name, ProfileItemName(kAllProfileItems[i]));
+  }
+}
+
+TEST(ImportanceRanksTest, RanksDescendByImportance) {
+  std::vector<AttributeImportance> importances(3);
+  importances[0].name = "a";
+  importances[0].importance = 0.2;
+  importances[1].name = "b";
+  importances[1].importance = 0.5;
+  importances[2].name = "c";
+  importances[2].importance = 0.3;
+  auto ranks = ImportanceRanks(importances);
+  EXPECT_EQ(ranks[0], 2u);  // a is least important
+  EXPECT_EQ(ranks[1], 0u);  // b is most important
+  EXPECT_EQ(ranks[2], 1u);
+}
+
+TEST(ImportanceRanksTest, TiesKeepInputOrder) {
+  std::vector<AttributeImportance> importances(2);
+  importances[0].importance = 0.5;
+  importances[1].importance = 0.5;
+  auto ranks = ImportanceRanks(importances);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 1u);
+}
+
+}  // namespace
+}  // namespace sight

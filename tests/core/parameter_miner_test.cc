@@ -1,0 +1,67 @@
+#include "core/parameter_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+#include "graph/visibility.h"
+
+namespace sight {
+namespace {
+
+TEST(MineAttributeWeightsTest, InformativeAttributeGetsHighWeight) {
+  ProfileTable profiles(
+      ProfileSchema::Create({"gender", "last_name"}).value());
+  std::vector<UserId> strangers;
+  std::vector<RiskLabel> labels;
+  for (UserId u = 0; u < 16; ++u) {
+    bool male = u % 2 == 0;
+    Profile p;
+    p.values = {male ? "male" : "female", "name" + std::to_string(u % 5)};
+    ASSERT_TRUE(profiles.Set(u, p).ok());
+    strangers.push_back(u);
+    labels.push_back(male ? RiskLabel::kVeryRisky : RiskLabel::kNotRisky);
+  }
+  auto weights = MineAttributeWeights(profiles, strangers, labels).value();
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[0], weights[1]);
+  EXPECT_NEAR(weights[0] + weights[1], 1.0, 1e-12);
+}
+
+TEST(MineAttributeWeightsTest, RejectsEmpty) {
+  ProfileTable profiles(ProfileSchema::Create({"a"}).value());
+  EXPECT_FALSE(MineAttributeWeights(profiles, {}, {}).ok());
+}
+
+TEST(MineThetaWeightsTest, PredictiveItemDominates) {
+  VisibilityTable visibility;
+  std::vector<UserId> strangers;
+  std::vector<RiskLabel> labels;
+  for (UserId u = 0; u < 16; ++u) {
+    bool work_visible = u % 2 == 0;
+    visibility.SetVisible(u, ProfileItem::kWork, work_visible);
+    // Wall visibility uncorrelated with the label.
+    visibility.SetVisible(u, ProfileItem::kWall, u % 4 < 2);
+    strangers.push_back(u);
+    labels.push_back(work_visible ? RiskLabel::kNotRisky
+                                  : RiskLabel::kVeryRisky);
+  }
+  auto theta = MineThetaWeights(visibility, strangers, labels).value();
+  EXPECT_GT(theta[ProfileItem::kWork], theta[ProfileItem::kWall]);
+  EXPECT_GT(theta[ProfileItem::kWork], theta[ProfileItem::kPhoto]);
+  double sum = 0.0;
+  for (double v : theta.values) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MineThetaWeightsTest, UninformativeLabelsGiveUniformTheta) {
+  VisibilityTable visibility;
+  std::vector<UserId> strangers = {0, 1, 2};
+  std::vector<RiskLabel> labels(3, RiskLabel::kRisky);
+  auto theta = MineThetaWeights(visibility, strangers, labels).value();
+  for (double v : theta.values) {
+    EXPECT_NEAR(v, 1.0 / kNumProfileItems, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sight

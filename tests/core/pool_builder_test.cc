@@ -1,0 +1,207 @@
+#include "core/pool_builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/profile.h"
+#include "graph/social_graph.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale"}).value();
+}
+
+// Owner 0 with friends 1-4 (friends 1-2 and 3-4 are connected pairs);
+// strangers 5-10: 5,6 attach to friends 1+2 (2 mutuals), 7-10 attach to
+// one friend each. Profiles: strangers alternate male/tr and female/us.
+struct Fixture {
+  SocialGraph graph{11};
+  ProfileTable profiles{TestSchema()};
+  UserId owner = 0;
+
+  Fixture() {
+    auto edge = [&](UserId a, UserId b) {
+      EXPECT_TRUE(graph.AddEdge(a, b).ok());
+    };
+    for (UserId f = 1; f <= 4; ++f) edge(0, f);
+    edge(1, 2);
+    edge(3, 4);
+    edge(5, 1);
+    edge(5, 2);
+    edge(6, 1);
+    edge(6, 2);
+    edge(7, 1);
+    edge(8, 2);
+    edge(9, 3);
+    edge(10, 4);
+    for (UserId u = 0; u <= 10; ++u) {
+      Profile p;
+      p.values = u % 2 == 0 ? std::vector<std::string>{"male", "tr_TR"}
+                            : std::vector<std::string>{"female", "en_US"};
+      EXPECT_TRUE(profiles.Set(u, p).ok());
+    }
+  }
+};
+
+PoolBuilderConfig DefaultConfig(PoolStrategy strategy) {
+  PoolBuilderConfig config;
+  config.alpha = 10;
+  config.beta = 0.4;
+  config.strategy = strategy;
+  return config;
+}
+
+TEST(PoolBuilderTest, CreateValidates) {
+  PoolBuilderConfig config;
+  config.alpha = 0;
+  EXPECT_FALSE(PoolBuilder::Create(config).ok());
+  config = {};
+  config.beta = 1.5;
+  EXPECT_FALSE(PoolBuilder::Create(config).ok());
+  config = {};
+  config.ns_config.saturation = -1.0;
+  EXPECT_FALSE(PoolBuilder::Create(config).ok());
+  EXPECT_TRUE(PoolBuilder::Create(PoolBuilderConfig{}).ok());
+}
+
+TEST(PoolBuilderTest, PoolsPartitionAllStrangers) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  auto pools = builder.Build(fx.graph, fx.profiles, fx.owner).value();
+  EXPECT_EQ(pools.TotalStrangers(), 6u);
+
+  std::set<UserId> seen;
+  for (const StrangerPool& pool : pools.pools) {
+    EXPECT_FALSE(pool.members.empty());
+    for (UserId s : pool.members) {
+      EXPECT_TRUE(seen.insert(s).second) << "stranger in two pools";
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(PoolBuilderTest, NetworkSimilaritiesParallelToStrangers) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  auto pools = builder.Build(fx.graph, fx.profiles, fx.owner).value();
+  ASSERT_EQ(pools.network_similarities.size(), pools.strangers.size());
+  for (double ns : pools.network_similarities) {
+    EXPECT_GT(ns, 0.0);  // every stranger has >= 1 mutual friend
+    EXPECT_LE(ns, 1.0);
+  }
+}
+
+TEST(PoolBuilderTest, TwoMutualStrangersInHigherNsgThanOneMutual) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkOnly)).value();
+  auto pools = builder.Build(fx.graph, fx.profiles, fx.owner).value();
+  // Find the nsg index of stranger 5 (2 mutuals) and 7 (1 mutual).
+  auto nsg_of = [&](UserId target) {
+    for (const StrangerPool& pool : pools.pools) {
+      if (std::find(pool.members.begin(), pool.members.end(), target) !=
+          pool.members.end()) {
+        return pool.nsg_index;
+      }
+    }
+    return SIZE_MAX;
+  };
+  EXPECT_GT(nsg_of(5), nsg_of(7));
+}
+
+TEST(PoolBuilderTest, NetworkOnlyHasOnePoolPerNonEmptyGroup) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkOnly)).value();
+  auto pools = builder.Build(fx.graph, fx.profiles, fx.owner).value();
+  std::set<size_t> nsg_indices;
+  for (const StrangerPool& pool : pools.pools) {
+    EXPECT_TRUE(nsg_indices.insert(pool.nsg_index).second)
+        << "two NSP pools share an nsg";
+    EXPECT_EQ(pool.cluster_index, 0u);
+  }
+}
+
+TEST(PoolBuilderTest, NppRefinesNspByProfile) {
+  Fixture fx;
+  auto npp =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value()
+          .Build(fx.graph, fx.profiles, fx.owner)
+          .value();
+  auto nsp = PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkOnly))
+                 .value()
+                 .Build(fx.graph, fx.profiles, fx.owner)
+                 .value();
+  EXPECT_GE(npp.pools.size(), nsp.pools.size());
+  // Every NPP pool lies within one NSG group, so within one NSP pool.
+  for (const StrangerPool& pool : npp.pools) {
+    std::set<size_t> nsgs;
+    nsgs.insert(pool.nsg_index);
+    EXPECT_EQ(nsgs.size(), 1u);
+  }
+}
+
+TEST(PoolBuilderTest, NppPoolsAreProfileHomogeneousHere) {
+  // With two clearly distinct profile groups and beta = 0.4, no pool mixes
+  // the male/tr and female/us strangers.
+  Fixture fx;
+  auto pools =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value()
+          .Build(fx.graph, fx.profiles, fx.owner)
+          .value();
+  for (const StrangerPool& pool : pools.pools) {
+    std::set<std::string> genders;
+    for (UserId s : pool.members) {
+      genders.insert(fx.profiles.Value(s, 0));
+    }
+    EXPECT_EQ(genders.size(), 1u);
+  }
+}
+
+TEST(PoolBuilderTest, UnknownOwnerFails) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  EXPECT_FALSE(builder.Build(fx.graph, fx.profiles, 99).ok());
+}
+
+TEST(PoolBuilderTest, OwnerWithoutStrangersYieldsEmptyPoolSet) {
+  SocialGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ProfileTable profiles(TestSchema());
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  auto pools = builder.Build(g, profiles, 0).value();
+  EXPECT_TRUE(pools.pools.empty());
+  EXPECT_EQ(pools.TotalStrangers(), 0u);
+}
+
+TEST(PoolBuilderTest, BuildForStrangersHonorsSubset) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  auto pools =
+      builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, {5, 7})
+          .value();
+  EXPECT_EQ(pools.TotalStrangers(), 2u);
+  size_t members = 0;
+  for (const StrangerPool& pool : pools.pools) members += pool.members.size();
+  EXPECT_EQ(members, 2u);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,77 @@
+#include "core/privacy_score.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+// Population of 4: everyone shows photos, nobody shows work, half show
+// wall.
+VisibilityTable SamplePopulation() {
+  VisibilityTable v;
+  for (UserId u = 0; u < 4; ++u) v.SetVisible(u, ProfileItem::kPhoto);
+  v.SetVisible(0, ProfileItem::kWall);
+  v.SetVisible(1, ProfileItem::kWall);
+  return v;
+}
+
+TEST(PrivacyScoreTest, FitRejectsEmptyPopulation) {
+  VisibilityTable v;
+  EXPECT_FALSE(FitPrivacyScoreModel(v, {}).ok());
+}
+
+TEST(PrivacyScoreTest, SensitivityIsHiddenFraction) {
+  VisibilityTable v = SamplePopulation();
+  auto model = FitPrivacyScoreModel(v, {0, 1, 2, 3}).value();
+  EXPECT_DOUBLE_EQ(
+      model.sensitivity[static_cast<size_t>(ProfileItem::kPhoto)], 0.0);
+  EXPECT_DOUBLE_EQ(
+      model.sensitivity[static_cast<size_t>(ProfileItem::kWork)], 1.0);
+  EXPECT_DOUBLE_EQ(
+      model.sensitivity[static_cast<size_t>(ProfileItem::kWall)], 0.5);
+  EXPECT_EQ(model.population, 4u);
+}
+
+TEST(PrivacyScoreTest, ScoreSumsVisibleSensitivities) {
+  VisibilityTable v = SamplePopulation();
+  auto model = FitPrivacyScoreModel(v, {0, 1, 2, 3}).value();
+  // User 0 shows photo (0.0) and wall (0.5).
+  EXPECT_DOUBLE_EQ(model.Score(v, 0), 0.5);
+  // User 2 shows only photo.
+  EXPECT_DOUBLE_EQ(model.Score(v, 2), 0.0);
+  // A user revealing a never-revealed item is maximally penalized for it.
+  v.SetVisible(2, ProfileItem::kWork);
+  EXPECT_DOUBLE_EQ(model.Score(v, 2), 1.0);
+}
+
+TEST(PrivacyScoreTest, RevealingMoreNeverLowersTheScore) {
+  VisibilityTable v = SamplePopulation();
+  auto model = FitPrivacyScoreModel(v, {0, 1, 2, 3}).value();
+  double previous = model.Score(v, 3);
+  for (ProfileItem item : kAllProfileItems) {
+    v.SetVisible(3, item);
+    double current = model.Score(v, 3);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+  EXPECT_DOUBLE_EQ(previous, model.MaxScore());
+}
+
+TEST(PrivacyScoreTest, BatchMatchesSingle) {
+  VisibilityTable v = SamplePopulation();
+  auto model = FitPrivacyScoreModel(v, {0, 1, 2, 3}).value();
+  auto scores = ComputePrivacyScores(model, v, {0, 1, 2, 3});
+  ASSERT_EQ(scores.size(), 4u);
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_DOUBLE_EQ(scores[u], model.Score(v, u));
+  }
+}
+
+TEST(PrivacyScoreTest, HiddenUserScoresZero) {
+  VisibilityTable v = SamplePopulation();
+  auto model = FitPrivacyScoreModel(v, {0, 1, 2, 3}).value();
+  EXPECT_DOUBLE_EQ(model.Score(v, 99), 0.0);  // unconfigured user
+}
+
+}  // namespace
+}  // namespace sight

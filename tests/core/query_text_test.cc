@@ -1,0 +1,36 @@
+#include "core/query_text.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(QueryTextTest, ContainsDisplayedValuesAndName) {
+  std::string q = FormatRiskQuestion("Alice", 0.42, 0.17);
+  EXPECT_NE(q.find("You and Alice are 42/100 similar"), std::string::npos);
+  EXPECT_NE(q.find("provides you 17/100 benefits"), std::string::npos);
+  EXPECT_NE(q.find("risky to establish a relationship with Alice"),
+            std::string::npos);
+}
+
+TEST(QueryTextTest, ClampsOutOfRangeValues) {
+  std::string q = FormatRiskQuestion("Bob", -0.5, 1.7);
+  EXPECT_NE(q.find("are 0/100 similar"), std::string::npos);
+  EXPECT_NE(q.find("100/100 benefits"), std::string::npos);
+}
+
+TEST(QueryTextTest, RoundsToNearestPercent) {
+  std::string q = FormatRiskQuestion("C", 0.678, 0.001);
+  EXPECT_NE(q.find("are 68/100 similar"), std::string::npos);
+  EXPECT_NE(q.find("0/100 benefits"), std::string::npos);
+}
+
+TEST(QueryTextTest, MatchesPaperPhrasing) {
+  // Key phrases of the Section III-A question are preserved verbatim.
+  std::string q = FormatRiskQuestion("X", 0.5, 0.5);
+  EXPECT_NE(q.find("benefits might increase"), std::string::npos);
+  EXPECT_NE(q.find("if privacy settings allow you"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sight

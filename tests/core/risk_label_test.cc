@@ -1,0 +1,41 @@
+#include "core/risk_label.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(RiskLabelTest, NumericValues) {
+  EXPECT_DOUBLE_EQ(RiskLabelValue(RiskLabel::kNotRisky), 1.0);
+  EXPECT_DOUBLE_EQ(RiskLabelValue(RiskLabel::kRisky), 2.0);
+  EXPECT_DOUBLE_EQ(RiskLabelValue(RiskLabel::kVeryRisky), 3.0);
+}
+
+TEST(RiskLabelTest, FromIntRoundTrips) {
+  for (int v = kRiskLabelMin; v <= kRiskLabelMax; ++v) {
+    auto label = RiskLabelFromInt(v);
+    ASSERT_TRUE(label.ok());
+    EXPECT_EQ(static_cast<int>(label.value()), v);
+  }
+}
+
+TEST(RiskLabelTest, FromIntRejectsOutOfRange) {
+  EXPECT_EQ(RiskLabelFromInt(0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(RiskLabelFromInt(4).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(RiskLabelFromInt(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RiskLabelTest, Names) {
+  EXPECT_STREQ(RiskLabelName(RiskLabel::kNotRisky), "not risky");
+  EXPECT_STREQ(RiskLabelName(RiskLabel::kRisky), "risky");
+  EXPECT_STREQ(RiskLabelName(RiskLabel::kVeryRisky), "very risky");
+}
+
+TEST(RiskLabelTest, RangeConstantsMatchPaper) {
+  // Section III-A: three options, 1..3; RMSE can span [0, 2].
+  EXPECT_EQ(kRiskLabelMin, 1);
+  EXPECT_EQ(kRiskLabelMax, 3);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,277 @@
+#include "core/risk_session.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "sim/facebook_generator.h"
+#include "sim/owner_model.h"
+
+namespace sight {
+namespace {
+
+sim::OwnerDataset MakeDataset(uint64_t seed, size_t strangers = 200) {
+  sim::GeneratorConfig config;
+  config.num_friends = 40;
+  config.num_strangers = strangers;
+  config.num_communities = 4;
+  auto gen = sim::FacebookGenerator::Create(config).value();
+  Rng rng(seed);
+  return gen.Generate({sim::Gender::kMale, sim::Locale::kTR}, &rng).value();
+}
+
+// Counts every query and forbids repeats.
+class StrictOracle : public LabelOracle {
+ public:
+  explicit StrictOracle(sim::OwnerModel* model) : model_(model) {}
+
+  RiskLabel QueryLabel(UserId stranger, double similarity,
+                       double benefit) override {
+    EXPECT_TRUE(asked_.insert(stranger).second)
+        << "stranger " << stranger << " was asked twice";
+    ++queries_;
+    return model_->QueryLabel(stranger, similarity, benefit);
+  }
+
+  size_t queries() const { return queries_; }
+  const std::set<UserId>& asked() const { return asked_; }
+
+ private:
+  sim::OwnerModel* model_;
+  std::set<UserId> asked_;
+  size_t queries_ = 0;
+};
+
+RiskEngineConfig SessionConfig() {
+  RiskEngineConfig config;
+  config.pools.attribute_weights = sim::PaperAttributeWeights();
+  return config;
+}
+
+TEST(RiskSessionTest, CreateValidates) {
+  sim::OwnerDataset ds = MakeDataset(1);
+  EXPECT_FALSE(RiskSession::Create(SessionConfig(), nullptr, &ds.profiles,
+                                   &ds.visibility, ds.owner)
+                   .ok());
+  EXPECT_FALSE(RiskSession::Create(SessionConfig(), &ds.graph, &ds.profiles,
+                                   &ds.visibility, 999999)
+                   .ok());
+  EXPECT_TRUE(RiskSession::Create(SessionConfig(), &ds.graph, &ds.profiles,
+                                  &ds.visibility, ds.owner)
+                  .ok());
+}
+
+TEST(RiskSessionTest, AddStrangersValidatesAndDeduplicates) {
+  sim::OwnerDataset ds = MakeDataset(2);
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  EXPECT_FALSE(session.AddStrangers({ds.owner}).ok());
+  EXPECT_FALSE(session.AddStrangers({9999999}).ok());
+  ASSERT_TRUE(session.AddStrangers({ds.strangers[0], ds.strangers[1]}).ok());
+  ASSERT_TRUE(session.AddStrangers({ds.strangers[1], ds.strangers[2]}).ok());
+  EXPECT_EQ(session.num_strangers(), 3u);
+}
+
+TEST(RiskSessionTest, NeverAsksAboutTheSameStrangerTwice) {
+  sim::OwnerDataset ds = MakeDataset(3);
+  Rng attitude_rng(7);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto model =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  StrictOracle oracle(&model);
+
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  Rng rng(11);
+  // Three discovery waves; StrictOracle fails the test on any repeat.
+  size_t third = ds.strangers.size() / 3;
+  for (size_t wave = 0; wave < 3; ++wave) {
+    size_t begin = wave * third;
+    size_t end = wave == 2 ? ds.strangers.size() : (wave + 1) * third;
+    ASSERT_TRUE(session
+                    .AddStrangers(std::vector<UserId>(
+                        ds.strangers.begin() + begin,
+                        ds.strangers.begin() + end))
+                    .ok());
+    auto report = session.Assess(&oracle, &rng);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->assessment.strangers.size(), end);
+  }
+  EXPECT_EQ(session.num_known_labels(), oracle.queries());
+}
+
+TEST(RiskSessionTest, KnownLabelsPersistAcrossAssessments) {
+  sim::OwnerDataset ds = MakeDataset(4);
+  Rng attitude_rng(13);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto model =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  StrictOracle oracle(&model);
+
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  ASSERT_TRUE(session.DiscoverAllStrangers().ok());
+  Rng rng(17);
+  auto first = session.Assess(&oracle, &rng).value();
+  size_t after_first = oracle.queries();
+  EXPECT_EQ(first.assessment.total_queries, after_first);
+  EXPECT_EQ(session.num_known_labels(), after_first);
+
+  // Re-assessing with no new strangers is strictly cheaper than the first
+  // run: labels carry over, and only the stopping rule's re-validation
+  // rounds (Definition 4/5 need fresh labels per rebuilt pool) cost
+  // queries — never a repeated stranger (StrictOracle enforces that).
+  auto second = session.Assess(&oracle, &rng).value();
+  size_t second_queries = oracle.queries() - after_first;
+  EXPECT_EQ(second.assessment.total_queries, second_queries);
+  EXPECT_LT(second_queries, after_first);
+  EXPECT_EQ(second.assessment.strangers.size(), ds.strangers.size());
+}
+
+TEST(RiskSessionTest, CarriedLabelsAreReflectedInAssessments) {
+  sim::OwnerDataset ds = MakeDataset(5, 120);
+  Rng attitude_rng(19);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto model =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  StrictOracle oracle(&model);
+
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  ASSERT_TRUE(session.DiscoverAllStrangers().ok());
+  Rng rng(23);
+  ASSERT_TRUE(session.Assess(&oracle, &rng).ok());
+  auto report = session.Assess(&oracle, &rng).value();
+  // Every stranger the oracle ever labeled is marked owner-labeled with
+  // exactly that label.
+  std::map<UserId, RiskLabel> by_id;
+  for (const StrangerAssessment& sa : report.assessment.strangers) {
+    by_id[sa.stranger] = sa.predicted_label;
+    if (session.known_labels().count(sa.stranger) > 0) {
+      EXPECT_TRUE(sa.owner_labeled);
+    }
+  }
+  for (const auto& [stranger, value] : session.known_labels()) {
+    EXPECT_EQ(RiskLabelValue(by_id[stranger]), value);
+  }
+}
+
+TEST(RiskSessionTest, IncrementalCostsNoMoreThanTwiceOneShot) {
+  // Label economy: discovering in waves should not blow up total owner
+  // effort versus assessing everything at once.
+  sim::OwnerDataset ds = MakeDataset(6);
+  Rng attitude_rng(29);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+
+  auto run_waves = [&](size_t waves) {
+    auto model =
+        sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+            .value();
+    StrictOracle oracle(&model);
+    auto session =
+        RiskSession::Create(SessionConfig(), &ds.graph, &ds.profiles,
+                            &ds.visibility, ds.owner)
+            .value();
+    Rng rng(31);
+    size_t per_wave = ds.strangers.size() / waves;
+    for (size_t w = 0; w < waves; ++w) {
+      size_t begin = w * per_wave;
+      size_t end = w + 1 == waves ? ds.strangers.size() : begin + per_wave;
+      EXPECT_TRUE(session
+                      .AddStrangers(std::vector<UserId>(
+                          ds.strangers.begin() + begin,
+                          ds.strangers.begin() + end))
+                      .ok());
+      EXPECT_TRUE(session.Assess(&oracle, &rng).ok());
+    }
+    return oracle.queries();
+  };
+
+  size_t one_shot = run_waves(1);
+  size_t incremental = run_waves(4);
+  EXPECT_LE(incremental, one_shot * 2 + 20);
+}
+
+TEST(RiskSessionTest, ImportLabelsSeedsAndDiscovers) {
+  sim::OwnerDataset ds = MakeDataset(8, 100);
+  Rng attitude_rng(43);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto model =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  StrictOracle oracle(&model);
+
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  // Import labels for three strangers before any discovery.
+  PoolLearner::KnownLabels imported;
+  imported[ds.strangers[0]] = 1.0;
+  imported[ds.strangers[1]] = 3.0;
+  imported[ds.strangers[2]] = 2.0;
+  ASSERT_TRUE(session.ImportLabels(imported).ok());
+  EXPECT_EQ(session.num_strangers(), 3u);
+  EXPECT_EQ(session.num_known_labels(), 3u);
+
+  ASSERT_TRUE(session.DiscoverAllStrangers().ok());
+  Rng rng(47);
+  auto report = session.Assess(&oracle, &rng).value();
+  // StrictOracle verifies the imported strangers were never re-asked.
+  EXPECT_EQ(oracle.asked().count(ds.strangers[0]), 0u);
+  EXPECT_EQ(oracle.asked().count(ds.strangers[1]), 0u);
+  // Imported labels surface in the assessment.
+  for (const StrangerAssessment& sa : report.assessment.strangers) {
+    if (sa.stranger == ds.strangers[1]) {
+      EXPECT_TRUE(sa.owner_labeled);
+      EXPECT_EQ(sa.predicted_label, RiskLabel::kVeryRisky);
+    }
+  }
+}
+
+TEST(RiskSessionTest, ImportLabelsValidatesAtomically) {
+  sim::OwnerDataset ds = MakeDataset(9, 60);
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  PoolLearner::KnownLabels bad;
+  bad[ds.strangers[0]] = 2.0;
+  bad[ds.strangers[1]] = 9.0;  // out of range
+  EXPECT_FALSE(session.ImportLabels(bad).ok());
+  EXPECT_EQ(session.num_known_labels(), 0u);
+  EXPECT_EQ(session.num_strangers(), 0u);
+
+  PoolLearner::KnownLabels unknown_user;
+  unknown_user[999999] = 2.0;
+  EXPECT_FALSE(session.ImportLabels(unknown_user).ok());
+  PoolLearner::KnownLabels owner_label;
+  owner_label[ds.owner] = 2.0;
+  EXPECT_FALSE(session.ImportLabels(owner_label).ok());
+}
+
+TEST(RiskSessionTest, AssessWithNoStrangersIsEmptyReport) {
+  sim::OwnerDataset ds = MakeDataset(7);
+  auto session = RiskSession::Create(SessionConfig(), &ds.graph,
+                                     &ds.profiles, &ds.visibility, ds.owner)
+                     .value();
+  Rng attitude_rng(37);
+  sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
+  auto model =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  Rng rng(41);
+  auto report = session.Assess(&model, &rng).value();
+  EXPECT_EQ(report.assessment.strangers.size(), 0u);
+  EXPECT_EQ(report.assessment.total_queries, 0u);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,168 @@
+#include "graph/algorithms.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "graph/social_graph.h"
+
+namespace sight {
+namespace {
+
+// Owner 0 - friends 1,2,3 - strangers 4,5. 4 connects to friends 1 and 2;
+// 5 connects to friend 3. Friends 1-2 are themselves connected.
+SocialGraph EgoFixture() {
+  SocialGraph g(6);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(1, 4).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4).ok());
+  EXPECT_TRUE(g.AddEdge(3, 5).ok());
+  return g;
+}
+
+TEST(MutualFriendsTest, FindsIntersection) {
+  SocialGraph g = EgoFixture();
+  std::vector<UserId> mutual = MutualFriends(g, 0, 4);
+  EXPECT_EQ(mutual, (std::vector<UserId>{1, 2}));
+  EXPECT_EQ(MutualFriendCount(g, 0, 4), 2u);
+}
+
+TEST(MutualFriendsTest, EmptyWhenNoOverlap) {
+  SocialGraph g = EgoFixture();
+  EXPECT_TRUE(MutualFriends(g, 4, 5).empty());
+  EXPECT_EQ(MutualFriendCount(g, 4, 5), 0u);
+}
+
+TEST(MutualFriendsTest, UnknownUsersYieldEmpty) {
+  SocialGraph g = EgoFixture();
+  EXPECT_TRUE(MutualFriends(g, 0, 99).empty());
+  EXPECT_EQ(MutualFriendCount(g, 99, 0), 0u);
+}
+
+TEST(MutualFriendsTest, SymmetricInArguments) {
+  SocialGraph g = EgoFixture();
+  EXPECT_EQ(MutualFriends(g, 0, 4), MutualFriends(g, 4, 0));
+}
+
+TEST(InducedEdgeCountTest, CountsOnlyInternalEdges) {
+  SocialGraph g = EgoFixture();
+  EXPECT_EQ(InducedEdgeCount(g, {1, 2}), 1u);     // edge 1-2
+  EXPECT_EQ(InducedEdgeCount(g, {1, 3}), 0u);
+  EXPECT_EQ(InducedEdgeCount(g, {0, 1, 2}), 3u);  // triangle
+  EXPECT_EQ(InducedEdgeCount(g, {}), 0u);
+}
+
+TEST(InducedDensityTest, DensityOfCliqueIsOne) {
+  SocialGraph g = EgoFixture();
+  EXPECT_DOUBLE_EQ(InducedDensity(g, {0, 1, 2}), 1.0);
+}
+
+TEST(InducedDensityTest, SmallSetsHaveZeroDensity) {
+  SocialGraph g = EgoFixture();
+  EXPECT_DOUBLE_EQ(InducedDensity(g, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(InducedDensity(g, {}), 0.0);
+}
+
+TEST(InducedDensityTest, PartialDensity) {
+  SocialGraph g = EgoFixture();
+  // {1, 2, 3}: only edge 1-2 out of 3 possible.
+  EXPECT_NEAR(InducedDensity(g, {1, 2, 3}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TwoHopStrangersTest, FindsFriendsOfFriendsOnly) {
+  SocialGraph g = EgoFixture();
+  auto strangers = TwoHopStrangers(g, 0);
+  ASSERT_TRUE(strangers.ok());
+  EXPECT_EQ(strangers.value(), (std::vector<UserId>{4, 5}));
+}
+
+TEST(TwoHopStrangersTest, ExcludesOwnerAndFriends) {
+  SocialGraph g = EgoFixture();
+  auto strangers = TwoHopStrangers(g, 0).value();
+  for (UserId s : strangers) {
+    EXPECT_NE(s, 0u);
+    EXPECT_FALSE(g.HasEdge(0, s));
+  }
+}
+
+TEST(TwoHopStrangersTest, UnknownOwnerIsError) {
+  SocialGraph g = EgoFixture();
+  EXPECT_EQ(TwoHopStrangers(g, 42).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TwoHopStrangersTest, IsolatedOwnerHasNoStrangers) {
+  SocialGraph g(3);
+  EXPECT_TRUE(TwoHopStrangers(g, 0).value().empty());
+}
+
+TEST(TwoHopStrangersTest, FriendOfTwoFriendsCountedOnce) {
+  SocialGraph g = EgoFixture();
+  auto strangers = TwoHopStrangers(g, 0).value();
+  size_t count4 = 0;
+  for (UserId s : strangers) {
+    if (s == 4) ++count4;
+  }
+  EXPECT_EQ(count4, 1u);
+}
+
+TEST(BfsDistancesTest, ComputesHopDistances) {
+  SocialGraph g = EgoFixture();
+  auto dist = BfsDistances(g, 0).value();
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], 2u);
+  EXPECT_EQ(dist[5], 2u);
+}
+
+TEST(BfsDistancesTest, UnreachableIsMax) {
+  SocialGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto dist = BfsDistances(g, 0).value();
+  EXPECT_EQ(dist[2], std::numeric_limits<size_t>::max());
+}
+
+TEST(BfsDistancesTest, StrangersAreExactlyDistanceTwo) {
+  SocialGraph g = EgoFixture();
+  auto dist = BfsDistances(g, 0).value();
+  for (UserId s : TwoHopStrangers(g, 0).value()) {
+    EXPECT_EQ(dist[s], 2u);
+  }
+}
+
+TEST(ClusteringCoefficientTest, TriangleVertexIsOne) {
+  SocialGraph g = EgoFixture();
+  // User 0's neighbors {1,2,3} have one edge (1-2) of three possible.
+  EXPECT_NEAR(LocalClusteringCoefficient(g, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ClusteringCoefficientTest, LowDegreeIsZero) {
+  SocialGraph g = EgoFixture();
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 5), 0.0);
+}
+
+TEST(ClusteringCoefficientTest, AverageOverEmptyGraphIsZero) {
+  SocialGraph g;
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(DegreeSequenceTest, MatchesDegrees) {
+  SocialGraph g = EgoFixture();
+  auto degrees = DegreeSequence(g);
+  ASSERT_EQ(degrees.size(), 6u);
+  EXPECT_EQ(degrees[0], 3u);
+  EXPECT_EQ(degrees[4], 2u);
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  SocialGraph g = EgoFixture();
+  EXPECT_EQ(CountConnectedComponents(g), 1u);
+  g.AddUsers(2);  // two isolated users
+  EXPECT_EQ(CountConnectedComponents(g), 3u);
+}
+
+}  // namespace
+}  // namespace sight

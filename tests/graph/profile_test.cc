@@ -1,0 +1,95 @@
+#include "graph/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale", "last_name"}).value();
+}
+
+TEST(ProfileSchemaTest, CreateAndLookup) {
+  ProfileSchema schema = TestSchema();
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.name(0), "gender");
+  EXPECT_EQ(schema.FindAttribute("locale").value(), 1u);
+  EXPECT_EQ(schema.FindAttribute("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProfileSchemaTest, RejectsDuplicateNames) {
+  EXPECT_EQ(ProfileSchema::Create({"a", "a"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileSchemaTest, RejectsEmptyNames) {
+  EXPECT_EQ(ProfileSchema::Create({"a", ""}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileSchemaTest, EmptySchemaAllowed) {
+  ProfileSchema schema = ProfileSchema::Create({}).value();
+  EXPECT_EQ(schema.num_attributes(), 0u);
+}
+
+TEST(ProfileTest, MissingDetection) {
+  Profile p;
+  p.values = {"male", "", "Smith"};
+  EXPECT_FALSE(p.IsMissing(0));
+  EXPECT_TRUE(p.IsMissing(1));
+  EXPECT_TRUE(p.IsMissing(7));  // out of range counts as missing
+}
+
+TEST(ProfileTableTest, SetAndGet) {
+  ProfileTable table(TestSchema());
+  Profile p;
+  p.values = {"male", "tr_TR", "Yilmaz"};
+  ASSERT_TRUE(table.Set(3, p).ok());
+  EXPECT_TRUE(table.Has(3));
+  EXPECT_FALSE(table.Has(2));
+  EXPECT_EQ(table.Value(3, 2), "Yilmaz");
+  EXPECT_EQ(table.num_profiles(), 1u);
+}
+
+TEST(ProfileTableTest, SetRejectsWrongArity) {
+  ProfileTable table(TestSchema());
+  Profile p;
+  p.values = {"male"};
+  EXPECT_EQ(table.Set(0, p).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileTableTest, UnsetUserReadsAsAllMissing) {
+  ProfileTable table(TestSchema());
+  const Profile& p = table.Get(42);
+  ASSERT_EQ(p.values.size(), 3u);
+  EXPECT_TRUE(p.IsMissing(0));
+  EXPECT_TRUE(p.IsMissing(2));
+}
+
+TEST(ProfileTableTest, SetValueCreatesSparseProfile) {
+  ProfileTable table(TestSchema());
+  ASSERT_TRUE(table.SetValue(5, 1, "en_US").ok());
+  EXPECT_TRUE(table.Has(5));
+  EXPECT_EQ(table.Value(5, 1), "en_US");
+  EXPECT_TRUE(table.Get(5).IsMissing(0));
+}
+
+TEST(ProfileTableTest, SetValueRejectsBadAttribute) {
+  ProfileTable table(TestSchema());
+  EXPECT_EQ(table.SetValue(0, 9, "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileTableTest, OverwriteDoesNotDoubleCount) {
+  ProfileTable table(TestSchema());
+  Profile p;
+  p.values = {"a", "b", "c"};
+  ASSERT_TRUE(table.Set(0, p).ok());
+  p.values = {"x", "y", "z"};
+  ASSERT_TRUE(table.Set(0, p).ok());
+  EXPECT_EQ(table.num_profiles(), 1u);
+  EXPECT_EQ(table.Value(0, 0), "x");
+}
+
+}  // namespace
+}  // namespace sight

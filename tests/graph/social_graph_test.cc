@@ -1,0 +1,115 @@
+#include "graph/social_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(SocialGraphTest, StartsEmpty) {
+  SocialGraph g;
+  EXPECT_EQ(g.NumUsers(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.HasUser(0));
+}
+
+TEST(SocialGraphTest, AddUserReturnsConsecutiveIds) {
+  SocialGraph g;
+  EXPECT_EQ(g.AddUser(), 0u);
+  EXPECT_EQ(g.AddUser(), 1u);
+  EXPECT_EQ(g.AddUser(), 2u);
+  EXPECT_EQ(g.NumUsers(), 3u);
+  EXPECT_TRUE(g.HasUser(2));
+  EXPECT_FALSE(g.HasUser(3));
+}
+
+TEST(SocialGraphTest, AddUsersBulk) {
+  SocialGraph g(2);
+  EXPECT_EQ(g.NumUsers(), 2u);
+  EXPECT_EQ(g.AddUsers(3), 2u);
+  EXPECT_EQ(g.NumUsers(), 5u);
+}
+
+TEST(SocialGraphTest, AddEdgeSymmetric) {
+  SocialGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(SocialGraphTest, AddEdgeRejectsSelfLoop) {
+  SocialGraph g(2);
+  Status s = g.AddEdge(1, 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(SocialGraphTest, AddEdgeRejectsUnknownUser) {
+  SocialGraph g(2);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(5, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocialGraphTest, AddEdgeRejectsDuplicate) {
+  SocialGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(SocialGraphTest, AddEdgeIfAbsentReportsInsertion) {
+  SocialGraph g(2);
+  EXPECT_TRUE(g.AddEdgeIfAbsent(0, 1).value());
+  EXPECT_FALSE(g.AddEdgeIfAbsent(0, 1).value());
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(SocialGraphTest, RemoveEdge) {
+  SocialGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.RemoveEdge(1, 0).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(SocialGraphTest, NeighborsSortedAscending) {
+  SocialGraph g(5);
+  ASSERT_TRUE(g.AddEdge(2, 4).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  const auto& n = g.Neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 0u);
+  EXPECT_EQ(n[1], 3u);
+  EXPECT_EQ(n[2], 4u);
+}
+
+TEST(SocialGraphTest, DegreeTracksEdges) {
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(SocialGraphTest, HasEdgeFalseForUnknownUsers) {
+  SocialGraph g(2);
+  EXPECT_FALSE(g.HasEdge(0, 9));
+  EXPECT_FALSE(g.HasEdge(9, 9));
+}
+
+TEST(SocialGraphTest, LargeStarGraph) {
+  SocialGraph g(1001);
+  for (UserId u = 1; u <= 1000; ++u) {
+    ASSERT_TRUE(g.AddEdge(0, u).ok());
+  }
+  EXPECT_EQ(g.Degree(0), 1000u);
+  EXPECT_EQ(g.NumEdges(), 1000u);
+  EXPECT_TRUE(g.HasEdge(0, 777));
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,53 @@
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  SocialGraph g;
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_users, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.0);
+  EXPECT_EQ(stats.connected_components, 0u);
+}
+
+TEST(GraphStatsTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus pendant 3 and isolated 4.
+  SocialGraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_users, 5u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 8.0 / 5.0);
+  EXPECT_EQ(stats.max_degree, 3u);  // user 2
+  EXPECT_EQ(stats.isolated_users, 1u);
+  EXPECT_EQ(stats.connected_components, 2u);
+  // Clustering: users 0,1 have coefficient 1; user 2 has 1/3; others 0.
+  EXPECT_NEAR(stats.average_clustering_coefficient,
+              (1.0 + 1.0 + 1.0 / 3.0) / 5.0, 1e-12);
+}
+
+TEST(GraphStatsTest, MedianDegree) {
+  SocialGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());  // degrees 1, 1, 0
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.median_degree, 1u);
+}
+
+TEST(GraphStatsTest, FormatIncludesAllFields) {
+  SocialGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  std::string text = FormatGraphStats(ComputeGraphStats(g));
+  EXPECT_NE(text.find("users: 2"), std::string::npos);
+  EXPECT_NE(text.find("edges: 1"), std::string::npos);
+  EXPECT_NE(text.find("connected components: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sight

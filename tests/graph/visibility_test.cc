@@ -1,0 +1,73 @@
+#include "graph/visibility.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(ProfileItemTest, NamesRoundTrip) {
+  for (ProfileItem item : kAllProfileItems) {
+    auto parsed = ProfileItemFromName(ProfileItemName(item));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), item);
+  }
+}
+
+TEST(ProfileItemTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(ProfileItemFromName("selfies").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VisibilityTableTest, DefaultsToHidden) {
+  VisibilityTable v;
+  EXPECT_FALSE(v.IsVisible(0, ProfileItem::kWall));
+  EXPECT_EQ(v.VisibleCount(99), 0u);
+  EXPECT_EQ(v.Mask(5), 0u);
+}
+
+TEST(VisibilityTableTest, SetAndQuery) {
+  VisibilityTable v;
+  v.SetVisible(3, ProfileItem::kPhoto);
+  v.SetVisible(3, ProfileItem::kWork);
+  EXPECT_TRUE(v.IsVisible(3, ProfileItem::kPhoto));
+  EXPECT_TRUE(v.IsVisible(3, ProfileItem::kWork));
+  EXPECT_FALSE(v.IsVisible(3, ProfileItem::kWall));
+  EXPECT_EQ(v.VisibleCount(3), 2u);
+}
+
+TEST(VisibilityTableTest, Unset) {
+  VisibilityTable v;
+  v.SetVisible(1, ProfileItem::kWall);
+  v.SetVisible(1, ProfileItem::kWall, false);
+  EXPECT_FALSE(v.IsVisible(1, ProfileItem::kWall));
+  EXPECT_EQ(v.VisibleCount(1), 0u);
+}
+
+TEST(VisibilityTableTest, MaskRoundTrip) {
+  VisibilityTable v;
+  v.SetMask(2, 0b1010101);
+  EXPECT_TRUE(v.IsVisible(2, ProfileItem::kWall));
+  EXPECT_FALSE(v.IsVisible(2, ProfileItem::kPhoto));
+  EXPECT_TRUE(v.IsVisible(2, ProfileItem::kFriendList));
+  EXPECT_EQ(v.Mask(2), 0b1010101);
+  EXPECT_EQ(v.VisibleCount(2), 4u);
+}
+
+TEST(VisibilityTableTest, SetMaskClampsToSevenBits) {
+  VisibilityTable v;
+  v.SetMask(0, 0xff);
+  EXPECT_EQ(v.Mask(0), 0x7f);
+  EXPECT_EQ(v.VisibleCount(0), 7u);
+}
+
+TEST(VisibilityTableTest, AllItemsIndependent) {
+  VisibilityTable v;
+  for (ProfileItem item : kAllProfileItems) {
+    v.SetVisible(0, item);
+    EXPECT_TRUE(v.IsVisible(0, item));
+  }
+  EXPECT_EQ(v.VisibleCount(0), kNumProfileItems);
+}
+
+}  // namespace
+}  // namespace sight

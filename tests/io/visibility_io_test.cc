@@ -1,0 +1,89 @@
+#include "io/visibility_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sight::io {
+namespace {
+
+VisibilityTable SampleVisibility() {
+  VisibilityTable v;
+  v.SetVisible(1, ProfileItem::kPhoto);
+  v.SetVisible(1, ProfileItem::kWork);
+  v.SetVisible(3, ProfileItem::kWall);
+  return v;
+}
+
+TEST(VisibilityIoTest, RoundTrip) {
+  VisibilityTable original = SampleVisibility();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveVisibility(original, 5, &buffer).ok());
+  auto loaded = LoadVisibility(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (UserId u = 0; u < 5; ++u) {
+    EXPECT_EQ(loaded->Mask(u), original.Mask(u)) << "user " << u;
+  }
+}
+
+TEST(VisibilityIoTest, AllHiddenUsersOmittedButDefaultHidden) {
+  VisibilityTable original = SampleVisibility();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveVisibility(original, 5, &buffer).ok());
+  std::string text = buffer.str();
+  // Only two data rows (users 1 and 3).
+  size_t lines = static_cast<size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+  auto loaded = LoadVisibility(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->VisibleCount(0), 0u);
+  EXPECT_EQ(loaded->VisibleCount(2), 0u);
+}
+
+TEST(VisibilityIoTest, PermutedHeaderAccepted) {
+  std::stringstream buffer(
+      "user_id,photo,wall,friend,location,education,work,hometown\n"
+      "0,1,0,0,0,0,0,0\n");
+  auto loaded = LoadVisibility(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->IsVisible(0, ProfileItem::kPhoto));
+  EXPECT_FALSE(loaded->IsVisible(0, ProfileItem::kWall));
+}
+
+TEST(VisibilityIoTest, UnknownItemNameRejected) {
+  std::stringstream buffer(
+      "user_id,selfies,wall,friend,location,education,work,hometown\n");
+  EXPECT_FALSE(LoadVisibility(&buffer).ok());
+}
+
+TEST(VisibilityIoTest, NonBinaryCellRejected) {
+  std::stringstream buffer(
+      "user_id,wall,photo,friend,location,education,work,hometown\n"
+      "0,2,0,0,0,0,0,0\n");
+  EXPECT_FALSE(LoadVisibility(&buffer).ok());
+}
+
+TEST(VisibilityIoTest, WrongColumnCountRejected) {
+  std::stringstream buffer("user_id,wall,photo\n0,1,1\n");
+  EXPECT_FALSE(LoadVisibility(&buffer).ok());
+}
+
+TEST(VisibilityIoTest, BadUserIdRejected) {
+  std::stringstream buffer(
+      "user_id,wall,photo,friend,location,education,work,hometown\n"
+      "x,1,0,0,0,0,0,0\n");
+  EXPECT_FALSE(LoadVisibility(&buffer).ok());
+}
+
+TEST(VisibilityIoTest, FileRoundTrip) {
+  VisibilityTable original = SampleVisibility();
+  std::string path = ::testing::TempDir() + "/sight_visibility_io_test.csv";
+  ASSERT_TRUE(SaveVisibilityToFile(original, 5, path).ok());
+  auto loaded = LoadVisibilityFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Mask(1), original.Mask(1));
+}
+
+}  // namespace
+}  // namespace sight::io

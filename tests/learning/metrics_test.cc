@@ -1,0 +1,92 @@
+#include "learning/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(RmseTest, ZeroForPerfectPredictions) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}).value(), 0.0);
+}
+
+TEST(RmseTest, KnownValue) {
+  // Errors 1 and -1: RMSE = 1.
+  EXPECT_DOUBLE_EQ(Rmse({2.0, 1.0}, {1.0, 2.0}).value(), 1.0);
+}
+
+TEST(RmseTest, MaximalErrorOnRiskScale) {
+  // All predictions off by the full label range (1 vs 3).
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 1.0}, {3.0, 3.0}).value(), 2.0);
+}
+
+TEST(RmseTest, RejectsBadInput) {
+  EXPECT_FALSE(Rmse({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Rmse({}, {}).ok());
+}
+
+TEST(MaeTest, AveragesAbsoluteErrors) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 4.0}, {2.0, 2.0}).value(), 1.5);
+}
+
+TEST(ExactMatchTest, CountsMatches) {
+  EXPECT_DOUBLE_EQ(ExactMatchRate({1, 2, 3, 1}, {1, 2, 2, 2}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ExactMatchRate({1}, {1}).value(), 1.0);
+}
+
+TEST(ExactMatchTest, RejectsBadInput) {
+  EXPECT_FALSE(ExactMatchRate({1}, {}).ok());
+}
+
+TEST(ConfusionMatrixTest, CreateValidatesRange) {
+  EXPECT_FALSE(ConfusionMatrix::Create(3, 1).ok());
+  EXPECT_TRUE(ConfusionMatrix::Create(1, 3).ok());
+}
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  auto cm = ConfusionMatrix::Create(1, 3).value();
+  ASSERT_TRUE(cm.Add(1, 1).ok());
+  ASSERT_TRUE(cm.Add(1, 2).ok());
+  ASSERT_TRUE(cm.Add(3, 1).ok());
+  EXPECT_EQ(cm.Count(1, 1), 1u);
+  EXPECT_EQ(cm.Count(1, 2), 1u);
+  EXPECT_EQ(cm.Count(3, 1), 1u);
+  EXPECT_EQ(cm.Count(2, 2), 0u);
+  EXPECT_EQ(cm.Total(), 3u);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRangeLabels) {
+  auto cm = ConfusionMatrix::Create(1, 3).value();
+  EXPECT_EQ(cm.Add(0, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cm.Add(1, 4).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(cm.Count(0, 1), 0u);
+}
+
+TEST(ConfusionMatrixTest, Accuracy) {
+  auto cm = ConfusionMatrix::Create(1, 3).value();
+  ASSERT_TRUE(cm.Add(1, 1).ok());
+  ASSERT_TRUE(cm.Add(2, 2).ok());
+  ASSERT_TRUE(cm.Add(3, 1).ok());
+  ASSERT_TRUE(cm.Add(3, 3).ok());
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, UnderAndOverPrediction) {
+  auto cm = ConfusionMatrix::Create(1, 3).value();
+  ASSERT_TRUE(cm.Add(3, 1).ok());  // under (dangerous)
+  ASSERT_TRUE(cm.Add(3, 2).ok());  // under
+  ASSERT_TRUE(cm.Add(1, 3).ok());  // over (benign)
+  ASSERT_TRUE(cm.Add(2, 2).ok());  // exact
+  EXPECT_DOUBLE_EQ(cm.UnderPredictionRate(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.OverPredictionRate(), 0.25);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.25);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixRatesZero) {
+  auto cm = ConfusionMatrix::Create(1, 3).value();
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.UnderPredictionRate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.OverPredictionRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace sight

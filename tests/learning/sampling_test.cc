@@ -1,0 +1,89 @@
+#include "learning/sampling.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(RandomSamplerTest, SelectsAtMostK) {
+  RandomSampler sampler;
+  Rng rng(5);
+  std::vector<size_t> candidates = {10, 20, 30, 40, 50};
+  std::vector<double> predictions;
+  SamplingContext context{candidates, predictions};
+  auto picks = sampler.Select(context, 3, &rng);
+  EXPECT_EQ(picks.size(), 3u);
+  for (size_t p : picks) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), p),
+              candidates.end());
+  }
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), picks.size());
+}
+
+TEST(RandomSamplerTest, KLargerThanCandidates) {
+  RandomSampler sampler;
+  Rng rng(6);
+  std::vector<size_t> candidates = {1, 2};
+  std::vector<double> predictions;
+  SamplingContext context{candidates, predictions};
+  auto picks = sampler.Select(context, 10, &rng);
+  EXPECT_EQ(picks.size(), 2u);
+}
+
+TEST(RandomSamplerTest, EmptyCandidates) {
+  RandomSampler sampler;
+  Rng rng(7);
+  std::vector<size_t> candidates;
+  std::vector<double> predictions;
+  SamplingContext context{candidates, predictions};
+  EXPECT_TRUE(sampler.Select(context, 3, &rng).empty());
+}
+
+TEST(UncertaintySamplerTest, PicksMostAmbiguousPredictions) {
+  UncertaintySampler sampler;
+  Rng rng(8);
+  std::vector<size_t> candidates = {0, 1, 2, 3};
+  // Index 2 is maximally ambiguous (x.5), index 0 nearly integral.
+  std::vector<double> predictions = {1.02, 1.8, 2.5, 2.9};
+  SamplingContext context{candidates, predictions};
+  auto picks = sampler.Select(context, 2, &rng);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 2u);  // ambiguity 0.5
+  EXPECT_EQ(picks[1], 1u);  // ambiguity 0.2
+}
+
+TEST(UncertaintySamplerTest, FallsBackToRandomWithoutPredictions) {
+  UncertaintySampler sampler;
+  Rng rng(9);
+  std::vector<size_t> candidates = {5, 6, 7};
+  std::vector<double> predictions;  // none yet
+  SamplingContext context{candidates, predictions};
+  auto picks = sampler.Select(context, 2, &rng);
+  EXPECT_EQ(picks.size(), 2u);
+  for (size_t p : picks) {
+    EXPECT_GE(p, 5u);
+    EXPECT_LE(p, 7u);
+  }
+}
+
+TEST(UncertaintySamplerTest, CandidateOutsidePredictionRangeFallsBack) {
+  UncertaintySampler sampler;
+  Rng rng(10);
+  std::vector<size_t> candidates = {0, 9};  // 9 >= predictions.size()
+  std::vector<double> predictions = {1.5, 2.0};
+  SamplingContext context{candidates, predictions};
+  auto picks = sampler.Select(context, 1, &rng);
+  EXPECT_EQ(picks.size(), 1u);
+}
+
+TEST(SamplerNamesTest, StableNames) {
+  EXPECT_EQ(RandomSampler().name(), "random");
+  EXPECT_EQ(UncertaintySampler().name(), "uncertainty");
+}
+
+}  // namespace
+}  // namespace sight

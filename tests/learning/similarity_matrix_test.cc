@@ -1,0 +1,99 @@
+#include "learning/similarity_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(SimilarityMatrixTest, StartsZero) {
+  SimilarityMatrix m(3);
+  EXPECT_EQ(m.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.Get(i, j), 0.0);
+    }
+  }
+  EXPECT_EQ(m.NumEdges(), 0u);
+}
+
+TEST(SimilarityMatrixTest, SetIsSymmetric) {
+  SimilarityMatrix m(4);
+  m.Set(1, 3, 0.7);
+  EXPECT_DOUBLE_EQ(m.Get(1, 3), 0.7);
+  EXPECT_DOUBLE_EQ(m.Get(3, 1), 0.7);
+  EXPECT_EQ(m.NumEdges(), 1u);
+}
+
+TEST(SimilarityMatrixTest, DiagonalIgnored) {
+  SimilarityMatrix m(3);
+  m.Set(2, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m.Get(2, 2), 0.0);
+}
+
+TEST(SimilarityMatrixTest, RowSumSumsIncidentWeights) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Set(0, 2, 0.25);
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 0.75);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 0.5);
+}
+
+TEST(SimilarityMatrixTest, OverwriteReplacesWeight) {
+  SimilarityMatrix m(2);
+  m.Set(0, 1, 0.5);
+  m.Set(1, 0, 0.9);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 0.9);
+}
+
+TEST(SimilarityMatrixTest, SparsifyKeepsStrongestEdges) {
+  SimilarityMatrix m(4);
+  // Node 0 has three edges of increasing weight.
+  m.Set(0, 1, 0.1);
+  m.Set(0, 2, 0.5);
+  m.Set(0, 3, 0.9);
+  // Nodes 1..3 have no other edges, so each keeps its edge to 0 in its own
+  // top-1; all edges survive k=1 via the either-endpoint rule.
+  SimilarityMatrix survivors = m;
+  survivors.SparsifyTopK(1);
+  EXPECT_EQ(survivors.NumEdges(), 3u);
+
+  // With a clique the weakest edges drop.
+  SimilarityMatrix clique(3);
+  clique.Set(0, 1, 0.9);
+  clique.Set(0, 2, 0.8);
+  clique.Set(1, 2, 0.1);
+  clique.SparsifyTopK(1);
+  EXPECT_DOUBLE_EQ(clique.Get(0, 1), 0.9);
+  // Edge (1,2) is not in the top-1 of either endpoint (1's best is 0,
+  // 2's best is 0), so it is dropped.
+  EXPECT_DOUBLE_EQ(clique.Get(1, 2), 0.0);
+  EXPECT_EQ(clique.NumEdges(), 2u);
+}
+
+TEST(SimilarityMatrixTest, SparsifyZeroClearsAll) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Set(1, 2, 0.5);
+  m.SparsifyTopK(0);
+  EXPECT_EQ(m.NumEdges(), 0u);
+}
+
+TEST(SimilarityMatrixTest, SparsifyLargeKKeepsEverything) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Set(1, 2, 0.3);
+  m.Set(0, 2, 0.2);
+  m.SparsifyTopK(10);
+  EXPECT_EQ(m.NumEdges(), 3u);
+}
+
+TEST(SimilarityMatrixTest, SizeZeroAndOneAreFine) {
+  SimilarityMatrix zero(0);
+  EXPECT_EQ(zero.NumEdges(), 0u);
+  zero.SparsifyTopK(3);
+  SimilarityMatrix one(1);
+  EXPECT_DOUBLE_EQ(one.RowSum(0), 0.0);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,123 @@
+#include "sim/crawler.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "sim/facebook_generator.h"
+
+namespace sight::sim {
+namespace {
+
+OwnerDataset SmallDataset(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_friends = 30;
+  config.num_strangers = 120;
+  config.num_communities = 3;
+  auto gen = FacebookGenerator::Create(config).value();
+  Rng rng(seed);
+  return gen.Generate({Gender::kMale, Locale::kTR}, &rng).value();
+}
+
+TEST(CrawlerTest, CreateValidates) {
+  OwnerDataset ds = SmallDataset(1);
+  Rng rng(2);
+  CrawlerConfig config;
+  config.batch_size = 0;
+  EXPECT_FALSE(Crawler::Create(ds.graph, ds.owner, config, &rng).ok());
+  config.batch_size = 10;
+  EXPECT_FALSE(Crawler::Create(ds.graph, ds.owner, config, nullptr).ok());
+  EXPECT_FALSE(Crawler::Create(ds.graph, 99999, config, &rng).ok());
+  EXPECT_TRUE(Crawler::Create(ds.graph, ds.owner, config, &rng).ok());
+}
+
+TEST(CrawlerTest, DiscoversEveryStrangerExactlyOnce) {
+  OwnerDataset ds = SmallDataset(3);
+  Rng rng(4);
+  CrawlerConfig config;
+  config.batch_size = 25;
+  auto crawler = Crawler::Create(ds.graph, ds.owner, config, &rng).value();
+  EXPECT_EQ(crawler.total_strangers(), ds.strangers.size());
+
+  std::set<UserId> seen;
+  while (!crawler.done()) {
+    auto batch = crawler.Tick();
+    EXPECT_FALSE(batch.empty());
+    EXPECT_LE(batch.size(), 25u);
+    for (UserId s : batch) {
+      EXPECT_TRUE(seen.insert(s).second) << "stranger discovered twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), ds.strangers.size());
+  std::set<UserId> expected(ds.strangers.begin(), ds.strangers.end());
+  EXPECT_EQ(seen, expected);
+  EXPECT_TRUE(crawler.Tick().empty());
+  EXPECT_EQ(crawler.num_remaining(), 0u);
+}
+
+TEST(CrawlerTest, DiscoveredAccumulatesInOrder) {
+  OwnerDataset ds = SmallDataset(5);
+  Rng rng(6);
+  CrawlerConfig config;
+  config.batch_size = 10;
+  auto crawler = Crawler::Create(ds.graph, ds.owner, config, &rng).value();
+  auto b1 = crawler.Tick();
+  auto b2 = crawler.Tick();
+  ASSERT_EQ(crawler.discovered().size(), b1.size() + b2.size());
+  for (size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(crawler.discovered()[i], b1[i]);
+  }
+}
+
+TEST(CrawlerTest, WellConnectedStrangersSurfaceEarlier) {
+  // Statistical property: the mean mutual-friend count of the first half
+  // of discoveries exceeds that of the second half.
+  OwnerDataset ds = SmallDataset(7);
+  Rng rng(8);
+  CrawlerConfig config;
+  config.batch_size = 1000;
+  auto crawler = Crawler::Create(ds.graph, ds.owner, config, &rng).value();
+  auto all = crawler.Tick();
+  ASSERT_EQ(all.size(), ds.strangers.size());
+  size_t half = all.size() / 2;
+  double first_half = 0.0;
+  double second_half = 0.0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    double m = static_cast<double>(
+        MutualFriendCount(ds.graph, ds.owner, all[i]));
+    if (i < half) {
+      first_half += m;
+    } else {
+      second_half += m;
+    }
+  }
+  first_half /= static_cast<double>(half);
+  second_half /= static_cast<double>(all.size() - half);
+  EXPECT_GT(first_half, second_half);
+}
+
+TEST(CrawlerTest, DeterministicGivenSeed) {
+  OwnerDataset ds = SmallDataset(9);
+  CrawlerConfig config;
+  config.batch_size = 500;
+  Rng rng1(10);
+  Rng rng2(10);
+  auto c1 = Crawler::Create(ds.graph, ds.owner, config, &rng1).value();
+  auto c2 = Crawler::Create(ds.graph, ds.owner, config, &rng2).value();
+  EXPECT_EQ(c1.Tick(), c2.Tick());
+}
+
+TEST(CrawlerTest, OwnerWithoutStrangers) {
+  SocialGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  Rng rng(11);
+  auto crawler = Crawler::Create(g, 0, CrawlerConfig{}, &rng).value();
+  EXPECT_TRUE(crawler.done());
+  EXPECT_TRUE(crawler.Tick().empty());
+  EXPECT_EQ(crawler.total_strangers(), 0u);
+}
+
+}  // namespace
+}  // namespace sight::sim

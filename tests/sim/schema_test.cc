@@ -1,0 +1,117 @@
+#include "sim/schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sight::sim {
+namespace {
+
+TEST(LocaleTest, CodesRoundTrip) {
+  for (Locale locale : kAllLocales) {
+    auto parsed = LocaleFromCode(LocaleCode(locale));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), locale);
+  }
+}
+
+TEST(LocaleTest, UnknownCodeIsNotFound) {
+  EXPECT_EQ(LocaleFromCode("xx_XX").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LocaleTest, PaperLocalesPresent) {
+  // Table V covers TR, DE, US, IT, GB, ES, PL.
+  EXPECT_TRUE(LocaleFromCode("tr_TR").ok());
+  EXPECT_TRUE(LocaleFromCode("pl_PL").ok());
+  EXPECT_TRUE(LocaleFromCode("en_GB").ok());
+}
+
+TEST(GenderTest, Names) {
+  EXPECT_STREQ(GenderName(Gender::kMale), "male");
+  EXPECT_STREQ(GenderName(Gender::kFemale), "female");
+}
+
+TEST(FacebookSchemaTest, HasExpectedAttributes) {
+  ProfileSchema schema = FacebookSchema();
+  EXPECT_EQ(schema.num_attributes(), kNumFacebookAttributes);
+  EXPECT_TRUE(schema.FindAttribute("gender").ok());
+  EXPECT_TRUE(schema.FindAttribute("locale").ok());
+  EXPECT_TRUE(schema.FindAttribute("last_name").ok());
+  EXPECT_TRUE(schema.FindAttribute("hometown").ok());
+  EXPECT_TRUE(schema.FindAttribute("education").ok());
+  EXPECT_TRUE(schema.FindAttribute("work").ok());
+  EXPECT_EQ(schema.FindAttribute("gender").value(),
+            static_cast<AttributeId>(FacebookAttribute::kGender));
+}
+
+TEST(ValueDistributionsTest, LastNamesComeFromLocalePool) {
+  ValueDistributions dists;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string name = dists.SampleLastName(Locale::kTR, &rng);
+    const auto& pool = dists.last_names(Locale::kTR);
+    EXPECT_NE(std::find(pool.begin(), pool.end(), name), pool.end());
+  }
+}
+
+TEST(ValueDistributionsTest, LocalePoolsAreDistinct) {
+  ValueDistributions dists;
+  std::set<std::string> tr(dists.last_names(Locale::kTR).begin(),
+                           dists.last_names(Locale::kTR).end());
+  // Polish surnames never collide with Turkish ones in our pools.
+  for (const std::string& name : dists.last_names(Locale::kPL)) {
+    EXPECT_EQ(tr.count(name), 0u);
+  }
+}
+
+TEST(ValueDistributionsTest, ZipfFavorsHeadOfPool) {
+  ValueDistributions dists;
+  Rng rng(2);
+  const std::string& top = dists.last_names(Locale::kUS)[0];
+  int top_count = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (dists.SampleLastName(Locale::kUS, &rng) == top) ++top_count;
+  }
+  // 1/H(10) ~ 0.34 of mass on the head name.
+  EXPECT_GT(top_count, n / 5);
+}
+
+TEST(ValueDistributionsTest, EducationSometimesMissing) {
+  ValueDistributions dists;
+  Rng rng(3);
+  int missing = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    if (dists.SampleEducation(Locale::kIT, &rng).empty()) ++missing;
+  }
+  EXPECT_GT(missing, n / 5);
+  EXPECT_LT(missing, n / 2);
+}
+
+TEST(MakeProfileTest, ProfileMatchesSchemaAndInputs) {
+  ValueDistributions dists;
+  Rng rng(4);
+  Profile p = MakeProfile(Gender::kFemale, Locale::kPL, dists, &rng);
+  ASSERT_EQ(p.values.size(), kNumFacebookAttributes);
+  EXPECT_EQ(p.values[static_cast<size_t>(FacebookAttribute::kGender)],
+            "female");
+  EXPECT_EQ(p.values[static_cast<size_t>(FacebookAttribute::kLocale)],
+            "pl_PL");
+  EXPECT_FALSE(p.IsMissing(static_cast<AttributeId>(
+      FacebookAttribute::kLastName)));
+  EXPECT_FALSE(p.IsMissing(static_cast<AttributeId>(
+      FacebookAttribute::kHometown)));
+}
+
+TEST(MakeProfileTest, DeterministicGivenRngState) {
+  ValueDistributions dists;
+  Rng rng1(5);
+  Rng rng2(5);
+  Profile a = MakeProfile(Gender::kMale, Locale::kDE, dists, &rng1);
+  Profile b = MakeProfile(Gender::kMale, Locale::kDE, dists, &rng2);
+  EXPECT_EQ(a.values, b.values);
+}
+
+}  // namespace
+}  // namespace sight::sim

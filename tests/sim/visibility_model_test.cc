@@ -1,0 +1,99 @@
+#include "sim/visibility_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sight::sim {
+namespace {
+
+TEST(LocaleVisibilityRateTest, MatchesPaperTable5) {
+  EXPECT_DOUBLE_EQ(LocaleVisibilityRate(ProfileItem::kWall, Locale::kTR),
+                   0.20);
+  EXPECT_DOUBLE_EQ(LocaleVisibilityRate(ProfileItem::kPhoto, Locale::kPL),
+                   0.95);
+  EXPECT_DOUBLE_EQ(
+      LocaleVisibilityRate(ProfileItem::kFriendList, Locale::kIT), 0.68);
+  EXPECT_DOUBLE_EQ(LocaleVisibilityRate(ProfileItem::kWork, Locale::kES),
+                   0.13);
+  EXPECT_DOUBLE_EQ(
+      LocaleVisibilityRate(ProfileItem::kHometown, Locale::kUS), 0.37);
+}
+
+TEST(LocaleVisibilityRateTest, IndiaUsesSevenLocaleAverage) {
+  double avg = 0.0;
+  for (Locale l : {Locale::kTR, Locale::kDE, Locale::kUS, Locale::kIT,
+                   Locale::kGB, Locale::kES, Locale::kPL}) {
+    avg += LocaleVisibilityRate(ProfileItem::kWall, l);
+  }
+  avg /= 7.0;
+  EXPECT_NEAR(LocaleVisibilityRate(ProfileItem::kWall, Locale::kIN), avg,
+              1e-12);
+}
+
+TEST(GenderVisibilityRateTest, MatchesPaperTable4) {
+  EXPECT_DOUBLE_EQ(GenderVisibilityRate(ProfileItem::kWall, Gender::kMale),
+                   0.25);
+  EXPECT_DOUBLE_EQ(
+      GenderVisibilityRate(ProfileItem::kWall, Gender::kFemale), 0.16);
+  EXPECT_DOUBLE_EQ(GenderVisibilityRate(ProfileItem::kPhoto, Gender::kMale),
+                   0.88);
+  EXPECT_DOUBLE_EQ(
+      GenderVisibilityRate(ProfileItem::kPhoto, Gender::kFemale), 0.87);
+}
+
+TEST(GenderVisibilityRateTest, FemalesStricterExceptPhotos) {
+  // The paper's Fogel-consistent finding: female visibility is lower on
+  // every item, with photos nearly equal.
+  for (ProfileItem item : kAllProfileItems) {
+    EXPECT_LE(GenderVisibilityRate(item, Gender::kFemale),
+              GenderVisibilityRate(item, Gender::kMale));
+  }
+}
+
+TEST(VisibilityProbabilityTest, GenderGapPreserved) {
+  for (ProfileItem item : kAllProfileItems) {
+    double male = VisibilityProbability(item, Gender::kMale, Locale::kUS);
+    double female =
+        VisibilityProbability(item, Gender::kFemale, Locale::kUS);
+    double expected_gap = GenderVisibilityRate(item, Gender::kMale) -
+                          GenderVisibilityRate(item, Gender::kFemale);
+    EXPECT_NEAR(male - female, expected_gap, 1e-12);
+  }
+}
+
+TEST(VisibilityProbabilityTest, StaysInUnitInterval) {
+  for (ProfileItem item : kAllProfileItems) {
+    for (Locale locale : kAllLocales) {
+      for (Gender gender : {Gender::kMale, Gender::kFemale}) {
+        double p = VisibilityProbability(item, gender, locale);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SampleVisibilityMaskTest, EmpiricalRateTracksProbability) {
+  Rng rng(7);
+  const int n = 5000;
+  int photo_visible = 0;
+  for (int i = 0; i < n; ++i) {
+    uint8_t mask = SampleVisibilityMask(Gender::kMale, Locale::kPL, &rng);
+    if (mask & (1u << static_cast<uint8_t>(ProfileItem::kPhoto))) {
+      ++photo_visible;
+    }
+  }
+  double expected =
+      VisibilityProbability(ProfileItem::kPhoto, Gender::kMale, Locale::kPL);
+  EXPECT_NEAR(static_cast<double>(photo_visible) / n, expected, 0.02);
+}
+
+TEST(SampleVisibilityMaskTest, MaskUsesOnlySevenBits) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    uint8_t mask = SampleVisibilityMask(Gender::kFemale, Locale::kTR, &rng);
+    EXPECT_EQ(mask & 0x80, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sight::sim

@@ -1,0 +1,100 @@
+#include "similarity/baselines.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/social_graph.h"
+
+namespace sight {
+namespace {
+
+// 0 and 1 share neighbors {2, 3}; 0 also has 4, 1 also has 5.
+SocialGraph Fixture() {
+  SocialGraph g(6);
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_TRUE(g.AddEdge(0, 4).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_TRUE(g.AddEdge(1, 5).ok());
+  return g;
+}
+
+TEST(JaccardTest, ComputesIntersectionOverUnion) {
+  SocialGraph g = Fixture();
+  // |{2,3}| / |{2,3,4,5}| = 0.5.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 1), 0.5);
+}
+
+TEST(JaccardTest, ZeroForIsolatedUsers) {
+  SocialGraph g(2);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 1), 0.0);
+}
+
+TEST(JaccardTest, ZeroForUnknownUsers) {
+  SocialGraph g = Fixture();
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 42), 0.0);
+}
+
+TEST(CommonNeighborsTest, CountsMutuals) {
+  SocialGraph g = Fixture();
+  EXPECT_DOUBLE_EQ(CommonNeighborsScore(g, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(CommonNeighborsScore(g, 2, 4), 1.0);  // both adj to 0
+}
+
+TEST(AdamicAdarTest, WeightsByInverseLogDegree) {
+  SocialGraph g = Fixture();
+  // Mutual friends 2 and 3 both have degree 2: contribution 2 / ln(2).
+  EXPECT_NEAR(AdamicAdarScore(g, 0, 1), 2.0 / std::log(2.0), 1e-12);
+}
+
+TEST(AdamicAdarTest, DegreeOneMutualsContributeNothing) {
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  // Mutual friend 2 has degree 2 -> contributes; now isolate-degree case:
+  SocialGraph h(3);
+  // No mutual at all.
+  EXPECT_DOUBLE_EQ(AdamicAdarScore(h, 0, 1), 0.0);
+  EXPECT_GT(AdamicAdarScore(g, 0, 1), 0.0);
+}
+
+TEST(CosineTest, NormalizedByDegrees) {
+  SocialGraph g = Fixture();
+  EXPECT_NEAR(CosineNeighborSimilarity(g, 0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroWhenEitherIsolated) {
+  SocialGraph g = Fixture();
+  UserId isolated = g.AddUser();
+  EXPECT_DOUBLE_EQ(CosineNeighborSimilarity(g, 0, isolated), 0.0);
+}
+
+TEST(OverlapTest, NormalizedBySmallerNeighborhood) {
+  SocialGraph g = Fixture();
+  // min degree = 3, mutual = 2.
+  EXPECT_NEAR(OverlapCoefficient(g, 0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(OverlapTest, FullContainmentScoresOne) {
+  SocialGraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(1, 4).ok());
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(g, 0, 1), 1.0);
+}
+
+TEST(BaselinesTest, AllSymmetric) {
+  SocialGraph g = Fixture();
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 1), JaccardSimilarity(g, 1, 0));
+  EXPECT_DOUBLE_EQ(AdamicAdarScore(g, 0, 1), AdamicAdarScore(g, 1, 0));
+  EXPECT_DOUBLE_EQ(CosineNeighborSimilarity(g, 0, 1),
+                   CosineNeighborSimilarity(g, 1, 0));
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(g, 0, 1), OverlapCoefficient(g, 1, 0));
+}
+
+}  // namespace
+}  // namespace sight

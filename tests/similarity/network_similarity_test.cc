@@ -1,0 +1,147 @@
+#include "similarity/network_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/social_graph.h"
+
+namespace sight {
+namespace {
+
+// Builds an owner (0) and a stranger (1) with `mutual` shared friends; the
+// friends form `internal_edges` edges among themselves (added greedily).
+SocialGraph MutualFixture(size_t mutual, size_t internal_edges) {
+  SocialGraph g(2 + mutual);
+  for (size_t i = 0; i < mutual; ++i) {
+    UserId f = static_cast<UserId>(2 + i);
+    EXPECT_TRUE(g.AddEdge(0, f).ok());
+    EXPECT_TRUE(g.AddEdge(1, f).ok());
+  }
+  size_t added = 0;
+  for (size_t i = 0; i < mutual && added < internal_edges; ++i) {
+    for (size_t j = i + 1; j < mutual && added < internal_edges; ++j) {
+      EXPECT_TRUE(g.AddEdge(static_cast<UserId>(2 + i),
+                            static_cast<UserId>(2 + j))
+                      .ok());
+      ++added;
+    }
+  }
+  return g;
+}
+
+NetworkSimilarity DefaultNs() {
+  return NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+}
+
+TEST(NetworkSimilarityConfigTest, ValidatesRanges) {
+  NetworkSimilarityConfig bad;
+  bad.mutual_weight = 1.5;
+  EXPECT_FALSE(NetworkSimilarity::Create(bad).ok());
+  bad.mutual_weight = -0.1;
+  EXPECT_FALSE(NetworkSimilarity::Create(bad).ok());
+  bad = {};
+  bad.saturation = 0.0;
+  EXPECT_FALSE(NetworkSimilarity::Create(bad).ok());
+  EXPECT_TRUE(NetworkSimilarity::Create(NetworkSimilarityConfig{}).ok());
+}
+
+TEST(NetworkSimilarityTest, ZeroWithoutMutualFriends) {
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_DOUBLE_EQ(DefaultNs().Compute(g, 0, 1), 0.0);
+}
+
+TEST(NetworkSimilarityTest, PositiveWithOneMutualFriend) {
+  SocialGraph g = MutualFixture(1, 0);
+  double ns = DefaultNs().Compute(g, 0, 1);
+  EXPECT_GT(ns, 0.0);
+  EXPECT_LT(ns, 0.2);
+}
+
+TEST(NetworkSimilarityTest, RangeIsUnitInterval) {
+  for (size_t mutual : {1u, 5u, 20u, 40u}) {
+    SocialGraph g = MutualFixture(mutual, mutual * mutual);  // clique
+    double ns = DefaultNs().Compute(g, 0, 1);
+    EXPECT_GE(ns, 0.0);
+    EXPECT_LE(ns, 1.0);
+  }
+}
+
+TEST(NetworkSimilarityTest, IncreasingInMutualFriendCount) {
+  NetworkSimilarity ns = DefaultNs();
+  double previous = -1.0;
+  for (size_t mutual : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SocialGraph g = MutualFixture(mutual, 0);
+    double value = ns.Compute(g, 0, 1);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(NetworkSimilarityTest, IncreasingInMutualFriendDensity) {
+  NetworkSimilarity ns = DefaultNs();
+  SocialGraph sparse = MutualFixture(6, 0);
+  SocialGraph medium = MutualFixture(6, 7);
+  SocialGraph dense = MutualFixture(6, 15);  // clique on 6
+  double v_sparse = ns.Compute(sparse, 0, 1);
+  double v_medium = ns.Compute(medium, 0, 1);
+  double v_dense = ns.Compute(dense, 0, 1);
+  EXPECT_LT(v_sparse, v_medium);
+  EXPECT_LT(v_medium, v_dense);
+}
+
+TEST(NetworkSimilarityTest, SymmetricInArguments) {
+  SocialGraph g = MutualFixture(5, 4);
+  NetworkSimilarity ns = DefaultNs();
+  EXPECT_DOUBLE_EQ(ns.Compute(g, 0, 1), ns.Compute(g, 1, 0));
+}
+
+TEST(NetworkSimilarityTest, UnknownUsersScoreZero) {
+  SocialGraph g = MutualFixture(3, 0);
+  EXPECT_DOUBLE_EQ(DefaultNs().Compute(g, 0, 99), 0.0);
+}
+
+TEST(NetworkSimilarityTest, FortyMutualLooseCommunityNearPaperCeiling) {
+  // The paper observed no stranger above NS 0.6 with up to 40+ mutual
+  // friends; with defaults a 40-mutual stranger in a low-density community
+  // should land near (but around) that ceiling.
+  SocialGraph g = MutualFixture(40, 80);  // density ~0.1
+  double ns = DefaultNs().Compute(g, 0, 1);
+  EXPECT_GT(ns, 0.5);
+  EXPECT_LT(ns, 0.7);
+}
+
+TEST(NetworkSimilarityTest, ComputeBatchMatchesSingle) {
+  SocialGraph g = MutualFixture(4, 2);
+  // Add a second stranger sharing 2 mutual friends.
+  UserId s2 = g.AddUser();
+  ASSERT_TRUE(g.AddEdge(s2, 2).ok());
+  ASSERT_TRUE(g.AddEdge(s2, 3).ok());
+  NetworkSimilarity ns = DefaultNs();
+  std::vector<UserId> strangers = {1, s2};
+  auto batch = ns.ComputeBatch(g, 0, strangers);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0], ns.Compute(g, 0, 1));
+  EXPECT_DOUBLE_EQ(batch[1], ns.Compute(g, 0, s2));
+}
+
+TEST(NetworkSimilarityTest, MutualWeightOneIgnoresDensity) {
+  NetworkSimilarityConfig config;
+  config.mutual_weight = 1.0;
+  NetworkSimilarity ns = NetworkSimilarity::Create(config).value();
+  SocialGraph sparse = MutualFixture(6, 0);
+  SocialGraph dense = MutualFixture(6, 15);
+  EXPECT_DOUBLE_EQ(ns.Compute(sparse, 0, 1), ns.Compute(dense, 0, 1));
+}
+
+TEST(NetworkSimilarityTest, SaturationControlsHalfPoint) {
+  NetworkSimilarityConfig config;
+  config.mutual_weight = 1.0;
+  config.saturation = 8.0;
+  NetworkSimilarity ns = NetworkSimilarity::Create(config).value();
+  SocialGraph g = MutualFixture(8, 0);
+  EXPECT_NEAR(ns.Compute(g, 0, 1), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,168 @@
+#include "similarity/profile_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+
+namespace sight {
+namespace {
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale", "last_name"}).value();
+}
+
+// Population: 0,1 male tr Yilmaz; 2 male us Smith; 3 female us Smith.
+ProfileTable TestPopulation() {
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  set(0, {"male", "tr_TR", "Yilmaz"});
+  set(1, {"male", "tr_TR", "Yilmaz"});
+  set(2, {"male", "en_US", "Smith"});
+  set(3, {"female", "en_US", "Smith"});
+  return table;
+}
+
+TEST(ValueFrequencyTableTest, ComputesRelativeFrequencies) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(freqs.Frequency(0, "male"), 0.75);
+  EXPECT_DOUBLE_EQ(freqs.Frequency(0, "female"), 0.25);
+  EXPECT_DOUBLE_EQ(freqs.Frequency(1, "tr_TR"), 0.5);
+  EXPECT_DOUBLE_EQ(freqs.Frequency(2, "Nowak"), 0.0);
+  EXPECT_EQ(freqs.Support(0), 4u);
+  EXPECT_EQ(freqs.NumDistinct(1), 2u);
+}
+
+TEST(ValueFrequencyTableTest, MissingValuesExcluded) {
+  ProfileTable table(TestSchema());
+  Profile p;
+  p.values = {"male", "", "Smith"};
+  ASSERT_TRUE(table.Set(0, p).ok());
+  p.values = {"female", "en_US", "Smith"};
+  ASSERT_TRUE(table.Set(1, p).ok());
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1});
+  EXPECT_EQ(freqs.Support(1), 1u);
+  EXPECT_DOUBLE_EQ(freqs.Frequency(1, "en_US"), 1.0);
+}
+
+TEST(ValueFrequencyTableTest, EmptyPopulation) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {});
+  EXPECT_DOUBLE_EQ(freqs.Frequency(0, "male"), 0.0);
+  EXPECT_EQ(freqs.Support(0), 0u);
+}
+
+TEST(ProfileSimilarityTest, IdenticalProfilesScoreOne) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  EXPECT_DOUBLE_EQ(ps.Compute(table, 0, 1, freqs), 1.0);
+}
+
+TEST(ProfileSimilarityTest, CompletelyDifferentRareValuesScoreLow) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  // 1 (male/tr/Yilmaz) vs 3 (female/us/Smith): no identical attribute.
+  double sim = ps.Compute(table, 1, 3, freqs);
+  EXPECT_GT(sim, 0.0);  // frequency-based partial credit
+  EXPECT_LT(sim, 0.5);
+}
+
+TEST(ProfileSimilarityTest, PartialMatchBetweenExtremes) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  double same = ps.Compute(table, 0, 1, freqs);
+  double share_gender = ps.Compute(table, 0, 2, freqs);  // only gender same
+  double nothing_same = ps.Compute(table, 0, 3, freqs);
+  EXPECT_GT(same, share_gender);
+  EXPECT_GT(share_gender, nothing_same);
+}
+
+TEST(ProfileSimilarityTest, DifferentCommonValuesBeatDifferentRareValues) {
+  // Two strangers differing on a *common* value pair should be more
+  // similar than two differing on rare values (Section III-C semantics).
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  // 8 users: gender split 4/4 (common values), last names mostly unique.
+  for (UserId u = 0; u < 8; ++u) {
+    set(u, {u < 4 ? "male" : "female", "en_US",
+            u < 6 ? "Name" + std::to_string(u) : "Shared"});
+  }
+  auto freqs =
+      ValueFrequencyTable::Build(table, {0, 1, 2, 3, 4, 5, 6, 7});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  // Attribute similarity for male vs female = min(0.5, 0.5) = 0.5;
+  // for two unique names = min(1/8, 1/8) = 0.125.
+  EXPECT_DOUBLE_EQ(freqs.Frequency(0, "male"), 0.5);
+  Profile a = table.Get(0);
+  Profile b = table.Get(4);
+  // a/b differ in gender (common) and name (rare), share locale.
+  double sim = ps.Compute(a, b, freqs);
+  double expected = (0.5 + 1.0 + 0.125) / 3.0;
+  EXPECT_NEAR(sim, expected, 1e-12);
+}
+
+TEST(ProfileSimilarityTest, MissingValuesContributeZero) {
+  ProfileTable table(TestSchema());
+  Profile a;
+  a.values = {"male", "", "Smith"};
+  Profile b;
+  b.values = {"male", "en_US", "Smith"};
+  ASSERT_TRUE(table.Set(0, a).ok());
+  ASSERT_TRUE(table.Set(1, b).ok());
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  // locale contributes 0 (missing on a): (1 + 0 + 1) / 3.
+  EXPECT_NEAR(ps.Compute(table, 0, 1, freqs), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ProfileSimilarityTest, WeightsChangeContribution) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  // All weight on gender.
+  auto ps = ProfileSimilarity::Create(table.schema(), {1.0, 0.0, 0.0}).value();
+  EXPECT_DOUBLE_EQ(ps.Compute(table, 0, 2, freqs), 1.0);  // both male
+}
+
+TEST(ProfileSimilarityTest, CreateValidatesWeights) {
+  ProfileSchema schema = TestSchema();
+  EXPECT_FALSE(ProfileSimilarity::Create(schema, {1.0}).ok());
+  EXPECT_FALSE(ProfileSimilarity::Create(schema, {1.0, -1.0, 0.0}).ok());
+  EXPECT_FALSE(ProfileSimilarity::Create(schema, {0.0, 0.0, 0.0}).ok());
+  EXPECT_TRUE(ProfileSimilarity::Create(schema, {2.0, 1.0, 1.0}).ok());
+}
+
+TEST(ProfileSimilarityTest, WeightsAreNormalized) {
+  ProfileSchema schema = TestSchema();
+  auto ps = ProfileSimilarity::Create(schema, {2.0, 1.0, 1.0}).value();
+  const auto& w = ps.normalized_weights();
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+  EXPECT_DOUBLE_EQ(w[2], 0.25);
+}
+
+TEST(ProfileSimilarityTest, EmptySchemaRejected) {
+  ProfileSchema schema = ProfileSchema::Create({}).value();
+  EXPECT_FALSE(ProfileSimilarity::Create(schema).ok());
+}
+
+TEST(ProfileSimilarityTest, SymmetricInProfiles) {
+  ProfileTable table = TestPopulation();
+  auto freqs = ValueFrequencyTable::Build(table, {0, 1, 2, 3});
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  EXPECT_DOUBLE_EQ(ps.Compute(table, 1, 3, freqs),
+                   ps.Compute(table, 3, 1, freqs));
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,124 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithCommas) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, QuotesNewlines) {
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  CsvWriter w({"x", "y"});
+  w.AddRow({"1", "2"});
+  w.AddRow({"a,b", "3"});
+  EXPECT_EQ(w.ToString(), "x,y\n1,2\n\"a,b\",3\n");
+  EXPECT_EQ(w.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, EmptyWriterEmitsHeaderOnly) {
+  CsvWriter w({"only"});
+  EXPECT_EQ(w.ToString(), "only\n");
+}
+
+std::vector<std::vector<std::string>> ReadAll(const std::string& text,
+                                              Status* status = nullptr) {
+  std::istringstream in(text);
+  CsvReader reader(&in);
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  while (reader.Next(&record)) records.push_back(record);
+  if (status != nullptr) *status = reader.status();
+  return records;
+}
+
+TEST(CsvReaderTest, SimpleRecords) {
+  auto records = ReadAll("a,b\n1,2\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto records = ReadAll("a,b\n1,2");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, QuotedCommasAndQuotes) {
+  auto records = ReadAll("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvReaderTest, QuotedNewlines) {
+  auto records = ReadAll("\"line1\nline2\",x\nnext,y\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0][0], "line1\nline2");
+  EXPECT_EQ(records[1][0], "next");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto records = ReadAll("a,b\r\n1,2\r\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, EmptyFieldsPreserved) {
+  auto records = ReadAll(",a,\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(CsvReaderTest, EmptyInputYieldsNoRecords) {
+  Status status;
+  auto records = ReadAll("", &status);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsError) {
+  Status status;
+  auto records = ReadAll("\"oops\n", &status);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReaderTest, DataAfterClosingQuoteIsError) {
+  Status status;
+  auto records = ReadAll("\"a\"junk,b\n", &status);
+  EXPECT_TRUE(records.empty());
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(CsvReaderTest, RoundTripWithWriter) {
+  CsvWriter w({"name", "note"});
+  w.AddRow({"O'Brien, Jr", "said \"hello\"\nthen left"});
+  w.AddRow({"plain", ""});
+  Status status;
+  auto records = ReadAll(w.ToString(), &status);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1][0], "O'Brien, Jr");
+  EXPECT_EQ(records[1][1], "said \"hello\"\nthen left");
+  EXPECT_EQ(records[2], (std::vector<std::string>{"plain", ""}));
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,88 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(HistogramTest, CreateRejectsBadArguments) {
+  EXPECT_FALSE(Histogram::Create(0, 0.0, 1.0).ok());
+  EXPECT_FALSE(Histogram::Create(10, 1.0, 1.0).ok());
+  EXPECT_FALSE(Histogram::Create(10, 2.0, 1.0).ok());
+  EXPECT_TRUE(Histogram::Create(10, 0.0, 1.0).ok());
+}
+
+TEST(HistogramTest, BinsValuesByRange) {
+  Histogram h = Histogram::Create(10, 0.0, 1.0).value();
+  h.Add(0.05);   // bin 0
+  h.Add(0.15);   // bin 1
+  h.Add(0.95);   // bin 9
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total_in_range(), 3u);
+}
+
+TEST(HistogramTest, UpperBoundGoesToLastBin) {
+  Histogram h = Histogram::Create(10, 0.0, 1.0).value();
+  h.Add(1.0);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, BinBoundaryBelongsToUpperBin) {
+  Histogram h = Histogram::Create(10, 0.0, 1.0).value();
+  h.Add(0.1);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeCounted) {
+  Histogram h = Histogram::Create(4, 0.0, 1.0).value();
+  h.Add(-0.1);
+  h.Add(1.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_in_range(), 0u);
+}
+
+TEST(HistogramTest, BinIndexMatchesAdd) {
+  Histogram h = Histogram::Create(5, 0.0, 1.0).value();
+  EXPECT_EQ(h.BinIndex(0.0).value(), 0u);
+  EXPECT_EQ(h.BinIndex(0.39).value(), 1u);
+  EXPECT_EQ(h.BinIndex(1.0).value(), 4u);
+  EXPECT_FALSE(h.BinIndex(-0.01).ok());
+  EXPECT_FALSE(h.BinIndex(1.01).ok());
+}
+
+TEST(HistogramTest, BinBounds) {
+  Histogram h = Histogram::Create(4, 0.0, 2.0).value();
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_upper(3), 2.0);
+}
+
+TEST(HistogramTest, NormalizedCountsSumToOne) {
+  Histogram h = Histogram::Create(3, 0.0, 3.0).value();
+  h.AddAll({0.5, 1.5, 1.6, 2.5});
+  auto norm = h.NormalizedCounts();
+  double sum = 0.0;
+  for (double v : norm) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+}
+
+TEST(HistogramTest, NormalizedCountsEmptyIsAllZero) {
+  Histogram h = Histogram::Create(3, 0.0, 1.0).value();
+  for (double v : h.NormalizedCounts()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HistogramTest, MeanOfInRangeValues) {
+  Histogram h = Histogram::Create(10, 0.0, 1.0).value();
+  h.AddAll({0.2, 0.4, 5.0});  // 5.0 is overflow, excluded
+  EXPECT_NEAR(h.Mean(), 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(SampleStatsTest, EmptyStatsAreZero) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+}
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats s;
+  s.AddAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleStatsTest, SingleSampleStdDevZero) {
+  SampleStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(SampleStatsTest, PercentilesInterpolate) {
+  SampleStats s;
+  s.AddAll({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);
+}
+
+TEST(SampleStatsTest, PercentileAfterNewAddsIsRefreshed) {
+  SampleStats s;
+  s.AddAll({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 2.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 10.0);
+}
+
+TEST(SampleStatsDeathTest, PercentileOutOfRange) {
+  SampleStats s;
+  s.Add(1.0);
+  EXPECT_DEATH({ (void)s.Percentile(101.0); }, "check failed");
+}
+
+}  // namespace
+}  // namespace sight

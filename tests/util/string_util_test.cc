@@ -1,0 +1,61 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(StrFormatTest, FormatsLikeStdPrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  std::string long_arg(1000, 'a');
+  std::string result = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(result.size(), 1002u);
+  EXPECT_EQ(result.front(), '<');
+  EXPECT_EQ(result.back(), '>');
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(SplitTest, SplitsOnSeparator) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("inner space"), "inner space");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC-9"), "abc-9");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(FormatPercentTest, ConvertsFractions) {
+  EXPECT_EQ(FormatPercent(0.25), "25%");
+  EXPECT_EQ(FormatPercent(0.417, 1), "41.7%");
+  EXPECT_EQ(FormatPercent(1.0), "100%");
+}
+
+}  // namespace
+}  // namespace sight

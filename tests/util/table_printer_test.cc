@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace sight {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"item", "value"});
+  t.AddRow({"wall", "25%"});
+  t.AddRow({"photo", "88%"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("item"), std::string::npos);
+  EXPECT_NE(out.find("wall"), std::string::npos);
+  EXPECT_NE(out.find("88%"), std::string::npos);
+  // Separator line of dashes present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericColumnsRightAligned) {
+  TablePrinter t({"name", "count"});
+  t.AddRow({"x", "5"});
+  t.AddRow({"y", "12345"});
+  std::string out = t.ToString();
+  // The short number is padded on the left to the column width.
+  EXPECT_NE(out.find("    5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowHelper) {
+  TablePrinter t({"label", "v1", "v2"});
+  t.AddRow("row", {1.234, 5.6}, 1);
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.6"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"h1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ToCsvEscapesProperly) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"with,comma", "42"});
+  EXPECT_EQ(t.ToCsv(), "name,value\n\"with,comma\",42\n");
+}
+
+}  // namespace
+}  // namespace sight
