@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_design_choices.cc" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o" "gcc" "bench/CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sight_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/sight_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/sight_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sight_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_accuracy_by_nsg.dir/ext_accuracy_by_nsg.cc.o"
+  "CMakeFiles/ext_accuracy_by_nsg.dir/ext_accuracy_by_nsg.cc.o.d"
+  "ext_accuracy_by_nsg"
+  "ext_accuracy_by_nsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_accuracy_by_nsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

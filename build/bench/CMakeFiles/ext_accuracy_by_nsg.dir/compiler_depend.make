@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_accuracy_by_nsg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_error_by_round.dir/fig5_error_by_round.cc.o"
+  "CMakeFiles/fig5_error_by_round.dir/fig5_error_by_round.cc.o.d"
+  "fig5_error_by_round"
+  "fig5_error_by_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_error_by_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

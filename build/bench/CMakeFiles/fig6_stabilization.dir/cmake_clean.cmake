@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stabilization.dir/fig6_stabilization.cc.o"
+  "CMakeFiles/fig6_stabilization.dir/fig6_stabilization.cc.o.d"
+  "fig6_stabilization"
+  "fig6_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

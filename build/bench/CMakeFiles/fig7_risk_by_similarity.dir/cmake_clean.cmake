@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_risk_by_similarity.dir/fig7_risk_by_similarity.cc.o"
+  "CMakeFiles/fig7_risk_by_similarity.dir/fig7_risk_by_similarity.cc.o.d"
+  "fig7_risk_by_similarity"
+  "fig7_risk_by_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_risk_by_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

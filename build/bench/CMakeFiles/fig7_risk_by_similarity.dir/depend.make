@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_risk_by_similarity.
+# This may be replaced when dependencies are built.

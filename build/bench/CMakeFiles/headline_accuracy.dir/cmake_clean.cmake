@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_accuracy.dir/headline_accuracy.cc.o"
+  "CMakeFiles/headline_accuracy.dir/headline_accuracy.cc.o.d"
+  "headline_accuracy"
+  "headline_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

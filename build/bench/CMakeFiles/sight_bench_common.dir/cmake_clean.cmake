@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsight_bench_common.a"
+  "../lib/libsight_bench_common.pdb"
+  "CMakeFiles/sight_bench_common.dir/common/study.cc.o"
+  "CMakeFiles/sight_bench_common.dir/common/study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsight_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_attribute_importance.dir/table1_attribute_importance.cc.o"
+  "CMakeFiles/table1_attribute_importance.dir/table1_attribute_importance.cc.o.d"
+  "table1_attribute_importance"
+  "table1_attribute_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_attribute_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_benefit_importance.dir/table2_benefit_importance.cc.o"
+  "CMakeFiles/table2_benefit_importance.dir/table2_benefit_importance.cc.o.d"
+  "table2_benefit_importance"
+  "table2_benefit_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benefit_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

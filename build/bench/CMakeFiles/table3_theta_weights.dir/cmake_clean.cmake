@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_theta_weights.dir/table3_theta_weights.cc.o"
+  "CMakeFiles/table3_theta_weights.dir/table3_theta_weights.cc.o.d"
+  "table3_theta_weights"
+  "table3_theta_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_theta_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_visibility_gender.dir/table4_visibility_gender.cc.o"
+  "CMakeFiles/table4_visibility_gender.dir/table4_visibility_gender.cc.o.d"
+  "table4_visibility_gender"
+  "table4_visibility_gender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_visibility_gender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_visibility_gender.
+# This may be replaced when dependencies are built.

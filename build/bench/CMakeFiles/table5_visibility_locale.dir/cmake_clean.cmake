@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_visibility_locale.dir/table5_visibility_locale.cc.o"
+  "CMakeFiles/table5_visibility_locale.dir/table5_visibility_locale.cc.o.d"
+  "table5_visibility_locale"
+  "table5_visibility_locale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_visibility_locale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

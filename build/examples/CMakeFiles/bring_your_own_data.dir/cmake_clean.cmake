@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bring_your_own_data.dir/bring_your_own_data.cpp.o"
+  "CMakeFiles/bring_your_own_data.dir/bring_your_own_data.cpp.o.d"
+  "bring_your_own_data"
+  "bring_your_own_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bring_your_own_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

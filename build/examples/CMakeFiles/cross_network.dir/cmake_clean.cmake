@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_network.dir/cross_network.cpp.o"
+  "CMakeFiles/cross_network.dir/cross_network.cpp.o.d"
+  "cross_network"
+  "cross_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

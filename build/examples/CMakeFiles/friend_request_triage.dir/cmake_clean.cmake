@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_request_triage.dir/friend_request_triage.cpp.o"
+  "CMakeFiles/friend_request_triage.dir/friend_request_triage.cpp.o.d"
+  "friend_request_triage"
+  "friend_request_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_request_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_crawler.dir/incremental_crawler.cpp.o"
+  "CMakeFiles/incremental_crawler.dir/incremental_crawler.cpp.o.d"
+  "incremental_crawler"
+  "incremental_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_clustering.dir/kmodes.cc.o"
+  "CMakeFiles/sight_clustering.dir/kmodes.cc.o.d"
+  "CMakeFiles/sight_clustering.dir/metrics.cc.o"
+  "CMakeFiles/sight_clustering.dir/metrics.cc.o.d"
+  "CMakeFiles/sight_clustering.dir/squeezer.cc.o"
+  "CMakeFiles/sight_clustering.dir/squeezer.cc.o.d"
+  "libsight_clustering.a"
+  "libsight_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_learner.cc" "src/core/CMakeFiles/sight_core.dir/active_learner.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/active_learner.cc.o.d"
+  "/root/repo/src/core/attribute_importance.cc" "src/core/CMakeFiles/sight_core.dir/attribute_importance.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/attribute_importance.cc.o.d"
+  "/root/repo/src/core/benefit.cc" "src/core/CMakeFiles/sight_core.dir/benefit.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/benefit.cc.o.d"
+  "/root/repo/src/core/friend_suggestion.cc" "src/core/CMakeFiles/sight_core.dir/friend_suggestion.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/friend_suggestion.cc.o.d"
+  "/root/repo/src/core/label_policy.cc" "src/core/CMakeFiles/sight_core.dir/label_policy.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/label_policy.cc.o.d"
+  "/root/repo/src/core/nsg.cc" "src/core/CMakeFiles/sight_core.dir/nsg.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/nsg.cc.o.d"
+  "/root/repo/src/core/parameter_miner.cc" "src/core/CMakeFiles/sight_core.dir/parameter_miner.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/parameter_miner.cc.o.d"
+  "/root/repo/src/core/pool_builder.cc" "src/core/CMakeFiles/sight_core.dir/pool_builder.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/pool_builder.cc.o.d"
+  "/root/repo/src/core/privacy_score.cc" "src/core/CMakeFiles/sight_core.dir/privacy_score.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/privacy_score.cc.o.d"
+  "/root/repo/src/core/query_text.cc" "src/core/CMakeFiles/sight_core.dir/query_text.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/query_text.cc.o.d"
+  "/root/repo/src/core/risk_engine.cc" "src/core/CMakeFiles/sight_core.dir/risk_engine.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/risk_engine.cc.o.d"
+  "/root/repo/src/core/risk_label.cc" "src/core/CMakeFiles/sight_core.dir/risk_label.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/risk_label.cc.o.d"
+  "/root/repo/src/core/risk_session.cc" "src/core/CMakeFiles/sight_core.dir/risk_session.cc.o" "gcc" "src/core/CMakeFiles/sight_core.dir/risk_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clustering/CMakeFiles/sight_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/sight_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sight_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_core.dir/active_learner.cc.o"
+  "CMakeFiles/sight_core.dir/active_learner.cc.o.d"
+  "CMakeFiles/sight_core.dir/attribute_importance.cc.o"
+  "CMakeFiles/sight_core.dir/attribute_importance.cc.o.d"
+  "CMakeFiles/sight_core.dir/benefit.cc.o"
+  "CMakeFiles/sight_core.dir/benefit.cc.o.d"
+  "CMakeFiles/sight_core.dir/friend_suggestion.cc.o"
+  "CMakeFiles/sight_core.dir/friend_suggestion.cc.o.d"
+  "CMakeFiles/sight_core.dir/label_policy.cc.o"
+  "CMakeFiles/sight_core.dir/label_policy.cc.o.d"
+  "CMakeFiles/sight_core.dir/nsg.cc.o"
+  "CMakeFiles/sight_core.dir/nsg.cc.o.d"
+  "CMakeFiles/sight_core.dir/parameter_miner.cc.o"
+  "CMakeFiles/sight_core.dir/parameter_miner.cc.o.d"
+  "CMakeFiles/sight_core.dir/pool_builder.cc.o"
+  "CMakeFiles/sight_core.dir/pool_builder.cc.o.d"
+  "CMakeFiles/sight_core.dir/privacy_score.cc.o"
+  "CMakeFiles/sight_core.dir/privacy_score.cc.o.d"
+  "CMakeFiles/sight_core.dir/query_text.cc.o"
+  "CMakeFiles/sight_core.dir/query_text.cc.o.d"
+  "CMakeFiles/sight_core.dir/risk_engine.cc.o"
+  "CMakeFiles/sight_core.dir/risk_engine.cc.o.d"
+  "CMakeFiles/sight_core.dir/risk_label.cc.o"
+  "CMakeFiles/sight_core.dir/risk_label.cc.o.d"
+  "CMakeFiles/sight_core.dir/risk_session.cc.o"
+  "CMakeFiles/sight_core.dir/risk_session.cc.o.d"
+  "libsight_core.a"
+  "libsight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

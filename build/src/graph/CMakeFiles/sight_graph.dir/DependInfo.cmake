@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/sight_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/sight_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/profile.cc" "src/graph/CMakeFiles/sight_graph.dir/profile.cc.o" "gcc" "src/graph/CMakeFiles/sight_graph.dir/profile.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/graph/CMakeFiles/sight_graph.dir/social_graph.cc.o" "gcc" "src/graph/CMakeFiles/sight_graph.dir/social_graph.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/graph/CMakeFiles/sight_graph.dir/statistics.cc.o" "gcc" "src/graph/CMakeFiles/sight_graph.dir/statistics.cc.o.d"
+  "/root/repo/src/graph/visibility.cc" "src/graph/CMakeFiles/sight_graph.dir/visibility.cc.o" "gcc" "src/graph/CMakeFiles/sight_graph.dir/visibility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_graph.dir/algorithms.cc.o"
+  "CMakeFiles/sight_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/sight_graph.dir/profile.cc.o"
+  "CMakeFiles/sight_graph.dir/profile.cc.o.d"
+  "CMakeFiles/sight_graph.dir/social_graph.cc.o"
+  "CMakeFiles/sight_graph.dir/social_graph.cc.o.d"
+  "CMakeFiles/sight_graph.dir/statistics.cc.o"
+  "CMakeFiles/sight_graph.dir/statistics.cc.o.d"
+  "CMakeFiles/sight_graph.dir/visibility.cc.o"
+  "CMakeFiles/sight_graph.dir/visibility.cc.o.d"
+  "libsight_graph.a"
+  "libsight_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

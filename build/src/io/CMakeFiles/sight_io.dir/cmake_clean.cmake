@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_io.dir/dataset_io.cc.o"
+  "CMakeFiles/sight_io.dir/dataset_io.cc.o.d"
+  "CMakeFiles/sight_io.dir/graph_io.cc.o"
+  "CMakeFiles/sight_io.dir/graph_io.cc.o.d"
+  "CMakeFiles/sight_io.dir/labels_io.cc.o"
+  "CMakeFiles/sight_io.dir/labels_io.cc.o.d"
+  "CMakeFiles/sight_io.dir/profile_io.cc.o"
+  "CMakeFiles/sight_io.dir/profile_io.cc.o.d"
+  "CMakeFiles/sight_io.dir/visibility_io.cc.o"
+  "CMakeFiles/sight_io.dir/visibility_io.cc.o.d"
+  "libsight_io.a"
+  "libsight_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

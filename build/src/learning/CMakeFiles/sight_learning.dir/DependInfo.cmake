@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learning/baselines.cc" "src/learning/CMakeFiles/sight_learning.dir/baselines.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/baselines.cc.o.d"
+  "/root/repo/src/learning/classifier.cc" "src/learning/CMakeFiles/sight_learning.dir/classifier.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/classifier.cc.o.d"
+  "/root/repo/src/learning/harmonic.cc" "src/learning/CMakeFiles/sight_learning.dir/harmonic.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/harmonic.cc.o.d"
+  "/root/repo/src/learning/info_gain.cc" "src/learning/CMakeFiles/sight_learning.dir/info_gain.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/info_gain.cc.o.d"
+  "/root/repo/src/learning/metrics.cc" "src/learning/CMakeFiles/sight_learning.dir/metrics.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/metrics.cc.o.d"
+  "/root/repo/src/learning/multiclass_harmonic.cc" "src/learning/CMakeFiles/sight_learning.dir/multiclass_harmonic.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/multiclass_harmonic.cc.o.d"
+  "/root/repo/src/learning/sampling.cc" "src/learning/CMakeFiles/sight_learning.dir/sampling.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/sampling.cc.o.d"
+  "/root/repo/src/learning/similarity_matrix.cc" "src/learning/CMakeFiles/sight_learning.dir/similarity_matrix.cc.o" "gcc" "src/learning/CMakeFiles/sight_learning.dir/similarity_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_learning.dir/baselines.cc.o"
+  "CMakeFiles/sight_learning.dir/baselines.cc.o.d"
+  "CMakeFiles/sight_learning.dir/classifier.cc.o"
+  "CMakeFiles/sight_learning.dir/classifier.cc.o.d"
+  "CMakeFiles/sight_learning.dir/harmonic.cc.o"
+  "CMakeFiles/sight_learning.dir/harmonic.cc.o.d"
+  "CMakeFiles/sight_learning.dir/info_gain.cc.o"
+  "CMakeFiles/sight_learning.dir/info_gain.cc.o.d"
+  "CMakeFiles/sight_learning.dir/metrics.cc.o"
+  "CMakeFiles/sight_learning.dir/metrics.cc.o.d"
+  "CMakeFiles/sight_learning.dir/multiclass_harmonic.cc.o"
+  "CMakeFiles/sight_learning.dir/multiclass_harmonic.cc.o.d"
+  "CMakeFiles/sight_learning.dir/sampling.cc.o"
+  "CMakeFiles/sight_learning.dir/sampling.cc.o.d"
+  "CMakeFiles/sight_learning.dir/similarity_matrix.cc.o"
+  "CMakeFiles/sight_learning.dir/similarity_matrix.cc.o.d"
+  "libsight_learning.a"
+  "libsight_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crawler.cc" "src/sim/CMakeFiles/sight_sim.dir/crawler.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/crawler.cc.o.d"
+  "/root/repo/src/sim/facebook_generator.cc" "src/sim/CMakeFiles/sight_sim.dir/facebook_generator.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/facebook_generator.cc.o.d"
+  "/root/repo/src/sim/owner_model.cc" "src/sim/CMakeFiles/sight_sim.dir/owner_model.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/owner_model.cc.o.d"
+  "/root/repo/src/sim/schema.cc" "src/sim/CMakeFiles/sight_sim.dir/schema.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/schema.cc.o.d"
+  "/root/repo/src/sim/twitter_generator.cc" "src/sim/CMakeFiles/sight_sim.dir/twitter_generator.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/twitter_generator.cc.o.d"
+  "/root/repo/src/sim/visibility_model.cc" "src/sim/CMakeFiles/sight_sim.dir/visibility_model.cc.o" "gcc" "src/sim/CMakeFiles/sight_sim.dir/visibility_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/sight_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/sight_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sight_similarity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

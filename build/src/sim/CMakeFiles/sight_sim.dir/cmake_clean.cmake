@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_sim.dir/crawler.cc.o"
+  "CMakeFiles/sight_sim.dir/crawler.cc.o.d"
+  "CMakeFiles/sight_sim.dir/facebook_generator.cc.o"
+  "CMakeFiles/sight_sim.dir/facebook_generator.cc.o.d"
+  "CMakeFiles/sight_sim.dir/owner_model.cc.o"
+  "CMakeFiles/sight_sim.dir/owner_model.cc.o.d"
+  "CMakeFiles/sight_sim.dir/schema.cc.o"
+  "CMakeFiles/sight_sim.dir/schema.cc.o.d"
+  "CMakeFiles/sight_sim.dir/twitter_generator.cc.o"
+  "CMakeFiles/sight_sim.dir/twitter_generator.cc.o.d"
+  "CMakeFiles/sight_sim.dir/visibility_model.cc.o"
+  "CMakeFiles/sight_sim.dir/visibility_model.cc.o.d"
+  "libsight_sim.a"
+  "libsight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

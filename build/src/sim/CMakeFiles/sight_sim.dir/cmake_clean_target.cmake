@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsight_sim.a"
+)

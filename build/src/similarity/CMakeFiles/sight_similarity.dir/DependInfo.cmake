@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/baselines.cc" "src/similarity/CMakeFiles/sight_similarity.dir/baselines.cc.o" "gcc" "src/similarity/CMakeFiles/sight_similarity.dir/baselines.cc.o.d"
+  "/root/repo/src/similarity/network_similarity.cc" "src/similarity/CMakeFiles/sight_similarity.dir/network_similarity.cc.o" "gcc" "src/similarity/CMakeFiles/sight_similarity.dir/network_similarity.cc.o.d"
+  "/root/repo/src/similarity/profile_similarity.cc" "src/similarity/CMakeFiles/sight_similarity.dir/profile_similarity.cc.o" "gcc" "src/similarity/CMakeFiles/sight_similarity.dir/profile_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

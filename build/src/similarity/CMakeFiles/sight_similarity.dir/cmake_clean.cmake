@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_similarity.dir/baselines.cc.o"
+  "CMakeFiles/sight_similarity.dir/baselines.cc.o.d"
+  "CMakeFiles/sight_similarity.dir/network_similarity.cc.o"
+  "CMakeFiles/sight_similarity.dir/network_similarity.cc.o.d"
+  "CMakeFiles/sight_similarity.dir/profile_similarity.cc.o"
+  "CMakeFiles/sight_similarity.dir/profile_similarity.cc.o.d"
+  "libsight_similarity.a"
+  "libsight_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

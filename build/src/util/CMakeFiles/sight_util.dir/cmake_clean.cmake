@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_util.dir/csv.cc.o"
+  "CMakeFiles/sight_util.dir/csv.cc.o.d"
+  "CMakeFiles/sight_util.dir/histogram.cc.o"
+  "CMakeFiles/sight_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sight_util.dir/random.cc.o"
+  "CMakeFiles/sight_util.dir/random.cc.o.d"
+  "CMakeFiles/sight_util.dir/stats.cc.o"
+  "CMakeFiles/sight_util.dir/stats.cc.o.d"
+  "CMakeFiles/sight_util.dir/status.cc.o"
+  "CMakeFiles/sight_util.dir/status.cc.o.d"
+  "CMakeFiles/sight_util.dir/string_util.cc.o"
+  "CMakeFiles/sight_util.dir/string_util.cc.o.d"
+  "CMakeFiles/sight_util.dir/table_printer.cc.o"
+  "CMakeFiles/sight_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/sight_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sight_util.dir/thread_pool.cc.o.d"
+  "libsight_util.a"
+  "libsight_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

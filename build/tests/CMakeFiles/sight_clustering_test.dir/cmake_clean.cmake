@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_clustering_test.dir/clustering/incremental_squeezer_test.cc.o"
+  "CMakeFiles/sight_clustering_test.dir/clustering/incremental_squeezer_test.cc.o.d"
+  "CMakeFiles/sight_clustering_test.dir/clustering/kmodes_test.cc.o"
+  "CMakeFiles/sight_clustering_test.dir/clustering/kmodes_test.cc.o.d"
+  "CMakeFiles/sight_clustering_test.dir/clustering/metrics_test.cc.o"
+  "CMakeFiles/sight_clustering_test.dir/clustering/metrics_test.cc.o.d"
+  "CMakeFiles/sight_clustering_test.dir/clustering/squeezer_test.cc.o"
+  "CMakeFiles/sight_clustering_test.dir/clustering/squeezer_test.cc.o.d"
+  "sight_clustering_test"
+  "sight_clustering_test.pdb"
+  "sight_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

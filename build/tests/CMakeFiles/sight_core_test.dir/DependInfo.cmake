@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/active_learner_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/active_learner_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/active_learner_test.cc.o.d"
+  "/root/repo/tests/core/attribute_importance_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/attribute_importance_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/attribute_importance_test.cc.o.d"
+  "/root/repo/tests/core/benefit_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/benefit_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/benefit_test.cc.o.d"
+  "/root/repo/tests/core/friend_suggestion_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/friend_suggestion_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/friend_suggestion_test.cc.o.d"
+  "/root/repo/tests/core/label_policy_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/label_policy_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/label_policy_test.cc.o.d"
+  "/root/repo/tests/core/nsg_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/nsg_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/nsg_test.cc.o.d"
+  "/root/repo/tests/core/parameter_miner_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/parameter_miner_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/parameter_miner_test.cc.o.d"
+  "/root/repo/tests/core/pool_builder_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/pool_builder_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/pool_builder_test.cc.o.d"
+  "/root/repo/tests/core/privacy_score_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/privacy_score_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/privacy_score_test.cc.o.d"
+  "/root/repo/tests/core/query_text_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/query_text_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/query_text_test.cc.o.d"
+  "/root/repo/tests/core/risk_engine_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/risk_engine_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/risk_engine_test.cc.o.d"
+  "/root/repo/tests/core/risk_label_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/risk_label_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/risk_label_test.cc.o.d"
+  "/root/repo/tests/core/risk_session_test.cc" "tests/CMakeFiles/sight_core_test.dir/core/risk_session_test.cc.o" "gcc" "tests/CMakeFiles/sight_core_test.dir/core/risk_session_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/sight_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/sight_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/sight_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sight_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

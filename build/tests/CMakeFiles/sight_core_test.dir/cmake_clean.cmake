@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_core_test.dir/core/active_learner_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/active_learner_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/attribute_importance_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/attribute_importance_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/benefit_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/benefit_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/friend_suggestion_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/friend_suggestion_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/label_policy_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/label_policy_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/nsg_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/nsg_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/parameter_miner_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/parameter_miner_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/pool_builder_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/pool_builder_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/privacy_score_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/privacy_score_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/query_text_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/query_text_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/risk_engine_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/risk_engine_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/risk_label_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/risk_label_test.cc.o.d"
+  "CMakeFiles/sight_core_test.dir/core/risk_session_test.cc.o"
+  "CMakeFiles/sight_core_test.dir/core/risk_session_test.cc.o.d"
+  "sight_core_test"
+  "sight_core_test.pdb"
+  "sight_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_graph_test.dir/graph/algorithms_test.cc.o"
+  "CMakeFiles/sight_graph_test.dir/graph/algorithms_test.cc.o.d"
+  "CMakeFiles/sight_graph_test.dir/graph/profile_test.cc.o"
+  "CMakeFiles/sight_graph_test.dir/graph/profile_test.cc.o.d"
+  "CMakeFiles/sight_graph_test.dir/graph/social_graph_test.cc.o"
+  "CMakeFiles/sight_graph_test.dir/graph/social_graph_test.cc.o.d"
+  "CMakeFiles/sight_graph_test.dir/graph/statistics_test.cc.o"
+  "CMakeFiles/sight_graph_test.dir/graph/statistics_test.cc.o.d"
+  "CMakeFiles/sight_graph_test.dir/graph/visibility_test.cc.o"
+  "CMakeFiles/sight_graph_test.dir/graph/visibility_test.cc.o.d"
+  "sight_graph_test"
+  "sight_graph_test.pdb"
+  "sight_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

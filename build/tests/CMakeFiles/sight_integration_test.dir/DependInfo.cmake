@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/alternate_schema_test.cc" "tests/CMakeFiles/sight_integration_test.dir/integration/alternate_schema_test.cc.o" "gcc" "tests/CMakeFiles/sight_integration_test.dir/integration/alternate_schema_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/sight_integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/sight_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/metric_properties_test.cc" "tests/CMakeFiles/sight_integration_test.dir/integration/metric_properties_test.cc.o" "gcc" "tests/CMakeFiles/sight_integration_test.dir/integration/metric_properties_test.cc.o.d"
+  "/root/repo/tests/integration/properties_test.cc" "tests/CMakeFiles/sight_integration_test.dir/integration/properties_test.cc.o" "gcc" "tests/CMakeFiles/sight_integration_test.dir/integration/properties_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/sight_integration_test.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/sight_integration_test.dir/integration/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/sight_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/sight_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/sight_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/sight_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sight_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sight_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

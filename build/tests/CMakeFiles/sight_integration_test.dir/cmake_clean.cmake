@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_integration_test.dir/integration/alternate_schema_test.cc.o"
+  "CMakeFiles/sight_integration_test.dir/integration/alternate_schema_test.cc.o.d"
+  "CMakeFiles/sight_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/sight_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/sight_integration_test.dir/integration/metric_properties_test.cc.o"
+  "CMakeFiles/sight_integration_test.dir/integration/metric_properties_test.cc.o.d"
+  "CMakeFiles/sight_integration_test.dir/integration/properties_test.cc.o"
+  "CMakeFiles/sight_integration_test.dir/integration/properties_test.cc.o.d"
+  "CMakeFiles/sight_integration_test.dir/integration/robustness_test.cc.o"
+  "CMakeFiles/sight_integration_test.dir/integration/robustness_test.cc.o.d"
+  "sight_integration_test"
+  "sight_integration_test.pdb"
+  "sight_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

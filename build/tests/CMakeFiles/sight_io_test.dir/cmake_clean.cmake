@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_io_test.dir/io/csv_fuzz_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/csv_fuzz_test.cc.o.d"
+  "CMakeFiles/sight_io_test.dir/io/dataset_io_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/dataset_io_test.cc.o.d"
+  "CMakeFiles/sight_io_test.dir/io/graph_io_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/graph_io_test.cc.o.d"
+  "CMakeFiles/sight_io_test.dir/io/labels_io_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/labels_io_test.cc.o.d"
+  "CMakeFiles/sight_io_test.dir/io/profile_io_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/profile_io_test.cc.o.d"
+  "CMakeFiles/sight_io_test.dir/io/visibility_io_test.cc.o"
+  "CMakeFiles/sight_io_test.dir/io/visibility_io_test.cc.o.d"
+  "sight_io_test"
+  "sight_io_test.pdb"
+  "sight_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_learning_test.dir/learning/baseline_classifiers_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/baseline_classifiers_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/harmonic_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/harmonic_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/info_gain_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/info_gain_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/metrics_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/metrics_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/multiclass_harmonic_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/multiclass_harmonic_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/sampling_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/sampling_test.cc.o.d"
+  "CMakeFiles/sight_learning_test.dir/learning/similarity_matrix_test.cc.o"
+  "CMakeFiles/sight_learning_test.dir/learning/similarity_matrix_test.cc.o.d"
+  "sight_learning_test"
+  "sight_learning_test.pdb"
+  "sight_learning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_sim_test.dir/sim/crawler_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/crawler_test.cc.o.d"
+  "CMakeFiles/sight_sim_test.dir/sim/facebook_generator_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/facebook_generator_test.cc.o.d"
+  "CMakeFiles/sight_sim_test.dir/sim/owner_model_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/owner_model_test.cc.o.d"
+  "CMakeFiles/sight_sim_test.dir/sim/schema_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/schema_test.cc.o.d"
+  "CMakeFiles/sight_sim_test.dir/sim/twitter_generator_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/twitter_generator_test.cc.o.d"
+  "CMakeFiles/sight_sim_test.dir/sim/visibility_model_test.cc.o"
+  "CMakeFiles/sight_sim_test.dir/sim/visibility_model_test.cc.o.d"
+  "sight_sim_test"
+  "sight_sim_test.pdb"
+  "sight_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

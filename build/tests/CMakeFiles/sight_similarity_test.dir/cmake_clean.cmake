@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_similarity_test.dir/similarity/baselines_test.cc.o"
+  "CMakeFiles/sight_similarity_test.dir/similarity/baselines_test.cc.o.d"
+  "CMakeFiles/sight_similarity_test.dir/similarity/network_similarity_test.cc.o"
+  "CMakeFiles/sight_similarity_test.dir/similarity/network_similarity_test.cc.o.d"
+  "CMakeFiles/sight_similarity_test.dir/similarity/profile_similarity_test.cc.o"
+  "CMakeFiles/sight_similarity_test.dir/similarity/profile_similarity_test.cc.o.d"
+  "sight_similarity_test"
+  "sight_similarity_test.pdb"
+  "sight_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

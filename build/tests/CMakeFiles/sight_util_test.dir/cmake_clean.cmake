@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_util_test.dir/util/csv_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/histogram_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/histogram_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/stats_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/table_printer_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/table_printer_test.cc.o.d"
+  "CMakeFiles/sight_util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/sight_util_test.dir/util/thread_pool_test.cc.o.d"
+  "sight_util_test"
+  "sight_util_test.pdb"
+  "sight_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sight_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_learning_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sight_integration_test[1]_include.cmake")

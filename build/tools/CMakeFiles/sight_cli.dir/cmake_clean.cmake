@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sight_cli.dir/sight_cli.cc.o"
+  "CMakeFiles/sight_cli.dir/sight_cli.cc.o.d"
+  "sight_cli"
+  "sight_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
