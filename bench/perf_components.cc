@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "clustering/squeezer.h"
 #include "core/benefit.h"
 #include "core/pool_builder.h"
@@ -12,6 +14,7 @@
 #include "similarity/network_similarity.h"
 #include "similarity/profile_similarity.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace sight {
 namespace {
@@ -48,6 +51,19 @@ void BM_NetworkSimilarityBatch(benchmark::State& state) {
                           static_cast<int64_t>(ds.strangers.size()));
 }
 BENCHMARK(BM_NetworkSimilarityBatch)->Arg(400)->Arg(2000);
+
+void BM_NetworkSimilarityBatchThreaded(benchmark::State& state) {
+  sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
+  auto ns = NetworkSimilarity::Create(NetworkSimilarityConfig{}).value();
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto sims = ns.ComputeBatch(ds.graph, ds.owner, ds.strangers, &pool);
+    benchmark::DoNotOptimize(sims);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.strangers.size()));
+}
+BENCHMARK(BM_NetworkSimilarityBatchThreaded)->Args({400, 4})->Args({2000, 4});
 
 void BM_SqueezerCluster(benchmark::State& state) {
   sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
@@ -87,8 +103,38 @@ void BM_ProfileSimilarityMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileSimilarityMatrix)->Arg(100)->Arg(300);
 
-void BM_HarmonicPredict(benchmark::State& state) {
+// The ActiveLearner construction kernel with its ParallelFor row split:
+// range(0) = pool size, range(1) = thread count (1 runs inline with no
+// pool). Speedup over threads=1 requires multi-core hardware.
+void BM_ProfileSimilarityMatrixThreaded(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  sim::OwnerDataset ds = MakeDataset(n);
+  const std::vector<UserId>& pool = ds.strangers;
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+  auto freqs = ValueFrequencyTable::Build(ds.profiles, pool);
+  std::unique_ptr<ThreadPool> tp =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  for (auto _ : state) {
+    SimilarityMatrix m(pool.size());
+    ParallelFor(tp.get(), pool.size(), [&](size_t i) {
+      for (size_t j = 0; j < i; ++j) {
+        m.Set(i, j, ps.Compute(ds.profiles, pool[i], pool[j], freqs));
+      }
+    });
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.size() * pool.size() / 2));
+}
+BENCHMARK(BM_ProfileSimilarityMatrixThreaded)
+    ->Args({400, 1})
+    ->Args({400, 4})
+    ->Args({2000, 1})
+    ->Args({2000, 4});
+
+// Erdos-Renyi-style weighted graph shared by the harmonic benches.
+SimilarityMatrix MakeRandomGraph(size_t n) {
   Rng rng(42);
   SimilarityMatrix m(n);
   for (size_t i = 0; i < n; ++i) {
@@ -96,10 +142,21 @@ void BM_HarmonicPredict(benchmark::State& state) {
       if (rng.Bernoulli(0.2)) m.Set(i, j, rng.UniformDouble(0.1, 1.0));
     }
   }
+  return m;
+}
+
+LabeledSet MakeLabels(size_t n) {
   LabeledSet labeled;
   for (size_t i = 0; i < n / 10 + 1; ++i) {
     labeled.Add(i * 7 % n, 1.0 + static_cast<double>(i % 3));
   }
+  return labeled;
+}
+
+void BM_HarmonicPredict(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix m = MakeRandomGraph(n);
+  LabeledSet labeled = MakeLabels(n);
   HarmonicConfig gs_config;
   auto classifier = HarmonicFunctionClassifier::Create(gs_config).value();
   for (auto _ : state) {
@@ -108,21 +165,12 @@ void BM_HarmonicPredict(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_HarmonicPredict)->Arg(100)->Arg(400);
+BENCHMARK(BM_HarmonicPredict)->Arg(100)->Arg(400)->Arg(2000);
 
 void BM_HarmonicPredictCg(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(42);
-  SimilarityMatrix m(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      if (rng.Bernoulli(0.2)) m.Set(i, j, rng.UniformDouble(0.1, 1.0));
-    }
-  }
-  LabeledSet labeled;
-  for (size_t i = 0; i < n / 10 + 1; ++i) {
-    labeled.Add(i * 7 % n, 1.0 + static_cast<double>(i % 3));
-  }
+  SimilarityMatrix m = MakeRandomGraph(n);
+  LabeledSet labeled = MakeLabels(n);
   HarmonicConfig config;
   config.solver = HarmonicSolver::kConjugateGradient;
   auto classifier = HarmonicFunctionClassifier::Create(config).value();
@@ -132,7 +180,43 @@ void BM_HarmonicPredictCg(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_HarmonicPredictCg)->Arg(100)->Arg(400);
+BENCHMARK(BM_HarmonicPredictCg)->Arg(100)->Arg(400)->Arg(2000);
+
+// Top-k-sparsified pool with a pre-built compact view — the shape the
+// ActiveLearner rounds actually solve on after PoolLearner::Create.
+void BM_HarmonicPredictSparsified(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix m = MakeRandomGraph(n);
+  m.SparsifyTopK(8);
+  m.Compact();
+  LabeledSet labeled = MakeLabels(n);
+  HarmonicConfig config;
+  config.solver = HarmonicSolver::kGaussSeidel;
+  auto classifier = HarmonicFunctionClassifier::Create(config).value();
+  for (auto _ : state) {
+    auto f = classifier.Predict(m, labeled);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HarmonicPredictSparsified)->Arg(400)->Arg(2000)->Arg(8000);
+
+void BM_HarmonicPredictCgSparsified(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix m = MakeRandomGraph(n);
+  m.SparsifyTopK(8);
+  m.Compact();
+  LabeledSet labeled = MakeLabels(n);
+  HarmonicConfig config;
+  config.solver = HarmonicSolver::kConjugateGradient;
+  auto classifier = HarmonicFunctionClassifier::Create(config).value();
+  for (auto _ : state) {
+    auto f = classifier.Predict(m, labeled);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HarmonicPredictCgSparsified)->Arg(400)->Arg(2000)->Arg(8000);
 
 void BM_PoolBuild(benchmark::State& state) {
   sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));

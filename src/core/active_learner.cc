@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sight {
 
@@ -55,6 +57,10 @@ Result<PoolLearner> PoolLearner::Create(
   if (config.sparsify_top_k > 0) {
     weights.SparsifyTopK(config.sparsify_top_k);
   }
+  // The learner graph is immutable from here on and the classifier solves
+  // on it every round: materialize the CSR neighbor view once so those
+  // solves iterate neighbor lists instead of dense rows.
+  weights.Compact();
   PoolLearner learner(pool, std::move(weights),
                       std::move(display_similarity),
                       std::move(display_benefit), config, classifier,
@@ -255,23 +261,28 @@ Result<ActiveLearner> ActiveLearner::Create(
   SIGHT_ASSIGN_OR_RETURN(ProfileSimilarity ps,
                          ProfileSimilarity::Create(profiles.schema()));
 
-  for (size_t p = 0; p < pools.pools.size(); ++p) {
+  size_t num_pools = pools.pools.size();
+
+  // Per-pool scaffolding (cheap relative to the pairwise loop below):
+  // value frequencies from the pool itself (Section III-C), the weight
+  // matrix to fill, and the display vectors surfaced to the oracle.
+  std::vector<ValueFrequencyTable> freqs;
+  std::vector<SimilarityMatrix> weights;
+  std::vector<std::vector<double>> sims(num_pools);
+  std::vector<std::vector<double>> bens(num_pools);
+  freqs.reserve(num_pools);
+  weights.reserve(num_pools);
+  // Flattened (pool, row) index space so one ParallelFor load-balances
+  // the similarity rows of every pool at once.
+  std::vector<size_t> row_base(num_pools + 1, 0);
+  for (size_t p = 0; p < num_pools; ++p) {
     const StrangerPool& pool = pools.pools[p];
     size_t n = pool.members.size();
-    // Edge weights: profile similarity with value frequencies from the
-    // pool itself (Section III-C).
-    ValueFrequencyTable freqs =
-        ValueFrequencyTable::Build(profiles, pool.members);
-    SimilarityMatrix weights(n);
-    for (size_t i = 0; i < n; ++i) {
-      const Profile& pi = profiles.Get(pool.members[i]);
-      for (size_t j = i + 1; j < n; ++j) {
-        weights.Set(i, j,
-                    ps.Compute(pi, profiles.Get(pool.members[j]), freqs));
-      }
-    }
-    std::vector<double> sim(n, 0.0);
-    std::vector<double> ben(n, 0.0);
+    freqs.push_back(ValueFrequencyTable::Build(profiles, pool.members));
+    weights.emplace_back(n);
+    row_base[p + 1] = row_base[p] + n;
+    sims[p].assign(n, 0.0);
+    bens[p].assign(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
       auto it = position.find(pool.members[i]);
       if (it == position.end()) {
@@ -279,15 +290,40 @@ Result<ActiveLearner> ActiveLearner::Create(
             StrFormat("pool member %u missing from the stranger list",
                       pool.members[i]));
       }
-      sim[i] = pools.network_similarities[it->second];
-      ben[i] = learner.benefits_[it->second];
+      sims[p][i] = pools.network_similarities[it->second];
+      bens[p][i] = learner.benefits_[it->second];
     }
-    SIGHT_ASSIGN_OR_RETURN(
-        PoolLearner pool_learner,
-        PoolLearner::Create(pool, std::move(weights), std::move(sim),
-                            std::move(ben), config, classifier, sampler,
-                            known_labels));
-    learner.learners_.push_back(std::move(pool_learner));
+  }
+
+  // Edge weights: the O(n^2) pairwise profile-similarity computation is
+  // embarrassingly parallel over rows. Every (i, j>i) pair maps to a
+  // distinct matrix entry, so rows write without synchronization.
+  ParallelFor(config.thread_pool, row_base.back(), [&](size_t r) {
+    size_t p = static_cast<size_t>(
+                   std::upper_bound(row_base.begin(), row_base.end(), r) -
+                   row_base.begin()) -
+               1;
+    size_t i = r - row_base[p];
+    const StrangerPool& pool = pools.pools[p];
+    const Profile& pi = profiles.Get(pool.members[i]);
+    for (size_t j = i + 1; j < pool.members.size(); ++j) {
+      weights[p].Set(i, j,
+                     ps.Compute(pi, profiles.Get(pool.members[j]), freqs[p]));
+    }
+  });
+
+  // Per-pool learner setup (sparsification, CSR compaction, label
+  // seeding) is independent across pools; statuses are surfaced in pool
+  // order afterwards.
+  std::vector<std::optional<Result<PoolLearner>>> created(num_pools);
+  ParallelFor(config.thread_pool, num_pools, [&](size_t p) {
+    created[p].emplace(PoolLearner::Create(
+        pools.pools[p], std::move(weights[p]), std::move(sims[p]),
+        std::move(bens[p]), config, classifier, sampler, known_labels));
+  });
+  for (size_t p = 0; p < num_pools; ++p) {
+    if (!created[p]->ok()) return created[p]->status();
+    learner.learners_.push_back(std::move(*created[p]).value());
     learner.pool_of_learner_.push_back(p);
   }
   return learner;

@@ -40,6 +40,8 @@
 
 namespace sight {
 
+class ThreadPool;
+
 /// The annotator of the active-learning loop — in production the human
 /// owner behind the Sight UI, in experiments a simulated OwnerModel.
 class LabelOracle {
@@ -67,6 +69,12 @@ struct ActiveLearnerConfig {
   /// Keep only the top-k profile-similarity edges per pool member when
   /// building the classifier graph; 0 = dense.
   size_t sparsify_top_k = 0;
+  /// Optional worker pool (non-owning; must outlive the learner) for the
+  /// O(n^2) similarity-matrix construction and the independent per-pool
+  /// learner setup in ActiveLearner::Create. The learning rounds
+  /// themselves stay serial, and predictions are identical with any pool
+  /// (including none).
+  ThreadPool* thread_pool = nullptr;
 
   Status Validate() const;
 

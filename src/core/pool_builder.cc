@@ -34,7 +34,7 @@ Result<PoolSet> PoolBuilder::BuildForStrangers(
   SIGHT_ASSIGN_OR_RETURN(NetworkSimilarity ns,
                          NetworkSimilarity::Create(config_.ns_config));
   result.network_similarities =
-      ns.ComputeBatch(graph, owner, result.strangers);
+      ns.ComputeBatch(graph, owner, result.strangers, config_.thread_pool);
 
   SIGHT_ASSIGN_OR_RETURN(
       NetworkSimilarityGroups nsg,

@@ -59,6 +59,9 @@ struct PoolBuilderConfig {
   std::vector<double> attribute_weights;
   NetworkSimilarityConfig ns_config;
   PoolStrategy strategy = PoolStrategy::kNetworkAndProfile;
+  /// Optional worker pool for the per-stranger NS batch (non-owning; must
+  /// outlive the builder). Null = serial; pools are identical either way.
+  ThreadPool* thread_pool = nullptr;
 };
 
 /// Builds the Definition 3 pool set for an owner.

@@ -12,6 +12,14 @@ Result<RiskEngine> RiskEngine::Create(RiskEngineConfig config) {
   SIGHT_RETURN_NOT_OK(config.theta.Validate());
   RiskEngine engine(std::move(config));
 
+  // The pool must exist before the classifiers so kHarmonicCmn can run
+  // its per-class solves on it.
+  if (engine.config_.thread_pool == nullptr &&
+      engine.config_.num_threads != 1) {
+    engine.owned_pool_ =
+        std::make_unique<ThreadPool>(engine.config_.num_threads);
+  }
+
   switch (engine.config_.classifier) {
     case ClassifierKind::kHarmonic: {
       SIGHT_ASSIGN_OR_RETURN(
@@ -26,6 +34,7 @@ Result<RiskEngine> RiskEngine::Create(RiskEngineConfig config) {
       mc_config.solver = engine.config_.harmonic;
       mc_config.label_min = kRiskLabelMin;
       mc_config.label_max = kRiskLabelMax;
+      mc_config.thread_pool = engine.effective_pool();
       SIGHT_ASSIGN_OR_RETURN(
           MulticlassHarmonicClassifier multiclass,
           MulticlassHarmonicClassifier::Create(mc_config));
@@ -71,8 +80,10 @@ Result<RiskReport> RiskEngine::AssessStrangers(
     const VisibilityTable& visibility, UserId owner,
     std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
     const PoolLearner::KnownLabels* known_labels) const {
+  PoolBuilderConfig pool_config = config_.pools;
+  pool_config.thread_pool = effective_pool();
   SIGHT_ASSIGN_OR_RETURN(PoolBuilder builder,
-                         PoolBuilder::Create(config_.pools));
+                         PoolBuilder::Create(std::move(pool_config)));
   SIGHT_ASSIGN_OR_RETURN(
       PoolSet pools,
       builder.BuildForStrangers(graph, profiles, owner, std::move(strangers)));
@@ -82,10 +93,12 @@ Result<RiskReport> RiskEngine::AssessStrangers(
   std::vector<double> benefits =
       benefit.ComputeBatch(visibility, pools.strangers);
 
+  ActiveLearnerConfig learner_config = config_.learner;
+  learner_config.thread_pool = effective_pool();
   SIGHT_ASSIGN_OR_RETURN(
       ActiveLearner learner,
       ActiveLearner::Create(pools, profiles, std::move(benefits),
-                            config_.learner, classifier_.get(),
+                            learner_config, classifier_.get(),
                             sampler_.get(), known_labels));
 
   RiskReport report;

@@ -29,6 +29,7 @@
 #include "learning/sampling.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sight {
 
@@ -62,6 +63,15 @@ struct RiskEngineConfig {
   HarmonicConfig harmonic;
   size_t knn_k = 5;
   SamplerKind sampler = SamplerKind::kRandom;
+  /// Worker threads for the parallel pipeline phases (NS batches,
+  /// similarity-matrix construction, per-pool learner setup, per-class
+  /// harmonic solves). 1 = fully serial, no pool at all (the default);
+  /// 0 = hardware concurrency. Ignored when `thread_pool` is set.
+  /// Assessments are deterministic and identical at every setting.
+  size_t num_threads = 1;
+  /// Optional caller-owned pool shared across engines/owners (non-owning;
+  /// must outlive the engine). Overrides `num_threads`.
+  ThreadPool* thread_pool = nullptr;
 };
 
 /// Everything produced by one owner assessment.
@@ -105,7 +115,15 @@ class RiskEngine {
  private:
   explicit RiskEngine(RiskEngineConfig config);
 
+  /// The pool the pipeline phases run on: the caller's, else the engine's
+  /// own (num_threads != 1), else null (serial).
+  ThreadPool* effective_pool() const {
+    return config_.thread_pool != nullptr ? config_.thread_pool
+                                          : owned_pool_.get();
+  }
+
   RiskEngineConfig config_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<GraphClassifier> classifier_;
   std::unique_ptr<Sampler> sampler_;
 };

@@ -1,5 +1,6 @@
 #include "learning/harmonic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -7,6 +8,32 @@
 #include "util/string_util.h"
 
 namespace sight {
+namespace {
+
+// Row-indexed (index, weight) adjacency over a similarity matrix. Borrows
+// the matrix's compact view when one was materialized (the learner hot
+// path: PoolLearner compacts once and solves every round); otherwise
+// builds a private view with a single O(n^2) pass — still one pass total
+// instead of one dense scan per solver sweep.
+class NeighborView {
+ public:
+  explicit NeighborView(const SimilarityMatrix& w) : matrix_(&w) {
+    if (!w.compacted()) w.BuildCsr(&offsets_, &neighbors_);
+  }
+
+  std::span<const Neighbor> Row(size_t i) const {
+    if (matrix_->compacted()) return matrix_->Neighbors(i);
+    return std::span<const Neighbor>(neighbors_.data() + offsets_[i],
+                                     offsets_[i + 1] - offsets_[i]);
+  }
+
+ private:
+  const SimilarityMatrix* matrix_;
+  std::vector<size_t> offsets_;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace
 
 Result<HarmonicFunctionClassifier> HarmonicFunctionClassifier::Create(
     HarmonicConfig config) {
@@ -57,23 +84,24 @@ std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
     const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
     std::vector<double> f) const {
   size_t n = w.size();
+  NeighborView adj(w);
   std::vector<size_t> unlabeled;
   for (size_t i = 0; i < n; ++i) {
     if (!is_labeled[i]) unlabeled.push_back(i);
   }
   std::vector<double> row_sums(n, 0.0);
-  for (size_t u : unlabeled) row_sums[u] = w.RowSum(u);
+  for (size_t u : unlabeled) {
+    double sum = 0.0;
+    for (const Neighbor& nb : adj.Row(u)) sum += nb.weight;
+    row_sums[u] = sum;
+  }
 
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     double max_delta = 0.0;
     for (size_t u : unlabeled) {
       if (row_sums[u] <= 0.0) continue;  // isolated: stays at label mean
       double acc = 0.0;
-      for (size_t v = 0; v < n; ++v) {
-        if (v == u) continue;
-        double wij = w.Get(u, v);
-        if (wij > 0.0) acc += wij * f[v];
-      }
+      for (const Neighbor& nb : adj.Row(u)) acc += nb.weight * f[nb.index];
       double next = acc / row_sums[u];
       max_delta = std::max(max_delta, std::fabs(next - f[u]));
       f[u] = next;
@@ -87,9 +115,17 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
     const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
     std::vector<double> f) const {
   size_t n = w.size();
+  NeighborView adj(w);
   std::vector<size_t> unlabeled;
+  // Position of node v in the unlabeled block, or SIZE_MAX for labeled
+  // nodes, so the sparse matvec can map neighbor indices in O(1).
+  constexpr size_t kLabeled = static_cast<size_t>(-1);
+  std::vector<size_t> position(n, kLabeled);
   for (size_t i = 0; i < n; ++i) {
-    if (!is_labeled[i]) unlabeled.push_back(i);
+    if (!is_labeled[i]) {
+      position[i] = unlabeled.size();
+      unlabeled.push_back(i);
+    }
   }
   size_t m = unlabeled.size();
   if (m == 0) return f;
@@ -105,12 +141,9 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
   std::vector<double> b(m, kRidge * mean);
   for (size_t a = 0; a < m; ++a) {
     size_t u = unlabeled[a];
-    for (size_t v = 0; v < n; ++v) {
-      if (v == u) continue;
-      double wij = w.Get(u, v);
-      if (wij <= 0.0) continue;
-      diag[a] += wij;
-      if (is_labeled[v]) b[a] += wij * f[v];
+    for (const Neighbor& nb : adj.Row(u)) {
+      diag[a] += nb.weight;
+      if (position[nb.index] == kLabeled) b[a] += nb.weight * f[nb.index];
     }
   }
 
@@ -118,10 +151,9 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
     for (size_t a = 0; a < m; ++a) {
       double acc = diag[a] * x[a];
       size_t u = unlabeled[a];
-      for (size_t c = 0; c < m; ++c) {
-        if (c == a) continue;
-        double wij = w.Get(u, unlabeled[c]);
-        if (wij > 0.0) acc -= wij * x[c];
+      for (const Neighbor& nb : adj.Row(u)) {
+        size_t c = position[nb.index];
+        if (c != kLabeled) acc -= nb.weight * x[c];
       }
       (*out)[a] = acc;
     }
@@ -135,10 +167,18 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
   std::vector<double> p = r;
   std::vector<double> ap(m);
 
+  // Converge on the residual relative to ||b|| so the stopping point does
+  // not drift with pool size or label scale; the max(1, ...) floor keeps
+  // near-zero right-hand sides (no labeled attachment anywhere) from
+  // demanding impossible absolute accuracy.
+  double b_norm = std::sqrt(std::inner_product(b.begin(), b.end(), b.begin(),
+                                               0.0));
+  const double stop_threshold = config_.tolerance * std::max(1.0, b_norm);
+
   double rs_old = std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
   for (size_t iter = 0; iter < config_.max_iterations && iter < m + 8;
        ++iter) {
-    if (std::sqrt(rs_old) < config_.tolerance) break;
+    if (std::sqrt(rs_old) < stop_threshold) break;
     matvec(p, &ap);
     double p_ap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
     if (p_ap <= 0.0) break;  // numerical safety

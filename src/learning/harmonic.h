@@ -14,8 +14,10 @@
 //
 // Two solvers: Gauss-Seidel label propagation (default; monotone, simple)
 // and conjugate gradient on the Laplacian system (faster convergence on
-// poorly mixing graphs). Isolated unlabeled components fall back to the
-// mean of the given labels.
+// poorly mixing graphs). Both iterate per-row neighbor lists (the
+// SimilarityMatrix compact view, built on the fly when the caller has not
+// compacted), so a sweep costs O(edges) rather than O(n^2). Isolated
+// unlabeled components fall back to the mean of the given labels.
 
 #ifndef SIGHT_LEARNING_HARMONIC_H_
 #define SIGHT_LEARNING_HARMONIC_H_
@@ -42,7 +44,7 @@ struct HarmonicConfig {
   HarmonicSolver solver = HarmonicSolver::kAuto;
   size_t max_iterations = 1000;
   /// Convergence: max absolute score change per sweep (Gauss-Seidel) or
-  /// residual norm (CG) below this stops iterating.
+  /// residual norm relative to ||b|| (CG) below this stops iterating.
   double tolerance = 1e-7;
   /// kAuto switches to conjugate gradient above this many unlabeled
   /// nodes.

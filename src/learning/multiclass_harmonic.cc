@@ -1,8 +1,10 @@
 #include "learning/multiclass_harmonic.h"
 
 #include <cmath>
+#include <optional>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sight {
 
@@ -45,16 +47,24 @@ MulticlassHarmonicClassifier::ClassScores(const SimilarityMatrix& weights,
   std::vector<bool> is_labeled(n, false);
   for (size_t idx : labeled.indices) is_labeled[idx] = true;
 
-  // One harmonic solve per class with one-hot boundary values.
-  std::vector<std::vector<double>> scores(n,
-                                          std::vector<double>(classes, 0.0));
-  for (size_t c = 0; c < classes; ++c) {
+  // One harmonic solve per class with one-hot boundary values. The solves
+  // are independent, so they fan out across the configured pool; CMN
+  // scoring below stays serial and in class order, keeping results
+  // identical to the single-threaded path.
+  std::vector<std::optional<Result<std::vector<double>>>> solved(classes);
+  ParallelFor(config_.thread_pool, classes, [&](size_t c) {
     LabeledSet one_hot;
     for (size_t i = 0; i < labeled.size(); ++i) {
       one_hot.Add(labeled.indices[i], class_of_label[i] == c ? 1.0 : 0.0);
     }
-    SIGHT_ASSIGN_OR_RETURN(std::vector<double> f,
-                           base_.Predict(weights, one_hot));
+    solved[c].emplace(base_.Predict(weights, one_hot));
+  });
+
+  std::vector<std::vector<double>> scores(n,
+                                          std::vector<double>(classes, 0.0));
+  for (size_t c = 0; c < classes; ++c) {
+    if (!solved[c]->ok()) return solved[c]->status();
+    const std::vector<double>& f = solved[c]->value();
     double mass = 0.0;
     for (size_t u = 0; u < n; ++u) {
       if (!is_labeled[u]) mass += std::max(0.0, f[u]);

@@ -27,6 +27,8 @@
 
 namespace sight {
 
+class ThreadPool;
+
 struct MulticlassHarmonicConfig {
   HarmonicConfig solver;
   /// Apply Zhu et al.'s Class Mass Normalization.
@@ -34,6 +36,10 @@ struct MulticlassHarmonicConfig {
   /// Discrete label range; labeled values must be integers in this range.
   int label_min = 1;
   int label_max = 3;
+  /// Optional worker pool for the independent per-class harmonic solves
+  /// (non-owning; must outlive the classifier). Null runs them serially;
+  /// scores are identical either way.
+  ThreadPool* thread_pool = nullptr;
 };
 
 class MulticlassHarmonicClassifier : public GraphClassifier {

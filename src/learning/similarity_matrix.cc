@@ -10,6 +10,7 @@ void SimilarityMatrix::Set(size_t i, size_t j, double value) {
   SIGHT_CHECK(i < n_ && j < n_);
   if (i == j) return;
   data_[Index(i, j)] = value;
+  InvalidateCompact();
 }
 
 double SimilarityMatrix::Get(size_t i, size_t j) const {
@@ -19,6 +20,11 @@ double SimilarityMatrix::Get(size_t i, size_t j) const {
 }
 
 double SimilarityMatrix::RowSum(size_t i) const {
+  if (compacted_) {
+    double sum = 0.0;
+    for (const Neighbor& nb : Neighbors(i)) sum += nb.weight;
+    return sum;
+  }
   double sum = 0.0;
   for (size_t j = 0; j < n_; ++j) {
     if (j != i) sum += Get(i, j);
@@ -28,6 +34,7 @@ double SimilarityMatrix::RowSum(size_t i) const {
 
 void SimilarityMatrix::SparsifyTopK(size_t k) {
   if (n_ == 0) return;
+  InvalidateCompact();
   // Mark, per node, its k strongest neighbors.
   std::vector<std::vector<bool>> keep(n_, std::vector<bool>(n_, false));
   std::vector<std::pair<double, size_t>> row;
@@ -51,6 +58,7 @@ void SimilarityMatrix::SparsifyTopK(size_t k) {
 }
 
 size_t SimilarityMatrix::NumEdges() const {
+  if (compacted_) return neighbors_.size() / 2;
   size_t count = 0;
   for (size_t i = 0; i < n_; ++i) {
     for (size_t j = 0; j < i; ++j) {
@@ -58,6 +66,59 @@ size_t SimilarityMatrix::NumEdges() const {
     }
   }
   return count;
+}
+
+void SimilarityMatrix::BuildCsr(std::vector<size_t>* offsets,
+                                std::vector<Neighbor>* neighbors) const {
+  SIGHT_CHECK(offsets != nullptr && neighbors != nullptr);
+  offsets->assign(n_ + 1, 0);
+  // Degree pass over the lower triangle (each edge counts at both ends),
+  // shifted by one so the prefix sum lands directly in CSR offsets.
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (data_[Index(i, j)] > 0.0) {
+        ++(*offsets)[i + 1];
+        ++(*offsets)[j + 1];
+      }
+    }
+  }
+  for (size_t i = 0; i < n_; ++i) (*offsets)[i + 1] += (*offsets)[i];
+  neighbors->resize(offsets->back());
+  // Fill pass. Scanning (i, j<i) in ascending order appends ascending j
+  // into row i and ascending i into row j, so every row ends up sorted by
+  // neighbor index.
+  std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double w = data_[Index(i, j)];
+      if (w > 0.0) {
+        (*neighbors)[cursor[i]++] = Neighbor{j, w};
+        (*neighbors)[cursor[j]++] = Neighbor{i, w};
+      }
+    }
+  }
+}
+
+void SimilarityMatrix::Compact() {
+  if (compacted_) return;
+  BuildCsr(&row_offsets_, &neighbors_);
+  compacted_ = true;
+}
+
+std::span<const Neighbor> SimilarityMatrix::Neighbors(size_t i) const {
+  SIGHT_CHECK(compacted_);
+  SIGHT_CHECK(i < n_);
+  return std::span<const Neighbor>(neighbors_.data() + row_offsets_[i],
+                                   row_offsets_[i + 1] - row_offsets_[i]);
+}
+
+void SimilarityMatrix::InvalidateCompact() {
+  if (!compacted_) return;
+  compacted_ = false;
+  row_offsets_.clear();
+  row_offsets_.shrink_to_fit();
+  neighbors_.clear();
+  neighbors_.shrink_to_fit();
 }
 
 }  // namespace sight

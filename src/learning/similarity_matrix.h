@@ -1,21 +1,31 @@
-// Dense symmetric similarity (edge-weight) matrix for a pool of instances.
+// Dense symmetric similarity (edge-weight) matrix for a pool of instances,
+// with an optional compact (CSR) neighbor view for sparse iteration.
 //
 // Pools in the risk pipeline are small (tens to a few thousand strangers),
-// so a dense lower-triangular store is simpler and faster than a sparse
-// structure. Zhu's harmonic classifier consumes this as the weighted graph
-// over labeled + unlabeled nodes. An optional top-k sparsification keeps
-// only the strongest edges per node, which both denoises and speeds up
-// propagation for larger pools.
+// so a dense lower-triangular store is the simplest write target while the
+// matrix is being built. Zhu's harmonic classifier consumes this as the
+// weighted graph over labeled + unlabeled nodes. An optional top-k
+// sparsification keeps only the strongest edges per node, which both
+// denoises and speeds up propagation for larger pools — and Compact()
+// materializes per-row (index, weight) adjacency lists so solvers iterate
+// O(degree) neighbors per node instead of O(n) dense scans.
 
 #ifndef SIGHT_LEARNING_SIMILARITY_MATRIX_H_
 #define SIGHT_LEARNING_SIMILARITY_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
 
 namespace sight {
+
+/// One directed CSR entry: the neighbor's pool index and the edge weight.
+struct Neighbor {
+  size_t index;
+  double weight;
+};
 
 /// Symmetric n x n matrix with a zero diagonal (no self-edges).
 class SimilarityMatrix {
@@ -25,6 +35,7 @@ class SimilarityMatrix {
   size_t size() const { return n_; }
 
   /// Sets w(i, j) = w(j, i) = value. Diagonal writes are ignored.
+  /// Invalidates a previously built compact view.
   void Set(size_t i, size_t j, double value);
 
   double Get(size_t i, size_t j) const;
@@ -34,10 +45,30 @@ class SimilarityMatrix {
 
   /// Keeps, for every node, only its k strongest incident edges (an edge
   /// survives if it is in the top-k of either endpoint). k = 0 clears all.
+  /// Invalidates a previously built compact view.
   void SparsifyTopK(size_t k);
 
   /// Number of non-zero off-diagonal entries (each unordered pair once).
   size_t NumEdges() const;
+
+  /// Materializes per-row (index, weight) adjacency lists over the
+  /// positive-weight entries so Neighbors(i) is available. Rows are sorted
+  /// by neighbor index. No-op if already compacted; any later Set() or
+  /// SparsifyTopK() invalidates the view.
+  void Compact();
+
+  bool compacted() const { return compacted_; }
+
+  /// Row i of the compact view. Requires a prior Compact().
+  std::span<const Neighbor> Neighbors(size_t i) const;
+
+  /// Writes the CSR arrays for the current contents into the outputs
+  /// (same layout Compact() caches: `offsets` has n + 1 entries, row i of
+  /// `neighbors` is [offsets[i], offsets[i+1]) sorted by index). Lets a
+  /// reader of a const, non-compacted matrix build its own view with a
+  /// single O(n^2) pass.
+  void BuildCsr(std::vector<size_t>* offsets,
+                std::vector<Neighbor>* neighbors) const;
 
  private:
   size_t Index(size_t i, size_t j) const {
@@ -45,8 +76,15 @@ class SimilarityMatrix {
     return i * (i + 1) / 2 + j;  // lower triangle, i >= j
   }
 
+  void InvalidateCompact();
+
   size_t n_;
   std::vector<double> data_;
+
+  // Compact (CSR) view; valid iff compacted_.
+  bool compacted_ = false;
+  std::vector<size_t> row_offsets_;  // n_ + 1 entries
+  std::vector<Neighbor> neighbors_;  // both directions of every edge
 };
 
 }  // namespace sight

@@ -2,6 +2,7 @@
 
 #include "graph/algorithms.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sight {
 
@@ -36,10 +37,11 @@ double NetworkSimilarity::Compute(const SocialGraph& graph, UserId owner,
 
 std::vector<double> NetworkSimilarity::ComputeBatch(
     const SocialGraph& graph, UserId owner,
-    const std::vector<UserId>& strangers) const {
-  std::vector<double> result;
-  result.reserve(strangers.size());
-  for (UserId s : strangers) result.push_back(Compute(graph, owner, s));
+    const std::vector<UserId>& strangers, ThreadPool* pool) const {
+  std::vector<double> result(strangers.size(), 0.0);
+  ParallelFor(pool, strangers.size(), [&](size_t i) {
+    result[i] = Compute(graph, owner, strangers[i]);
+  });
   return result;
 }
 

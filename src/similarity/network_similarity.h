@@ -33,6 +33,8 @@
 
 namespace sight {
 
+class ThreadPool;
+
 /// Parameters of the NS measure.
 struct NetworkSimilarityConfig {
   /// Weight of the saturating mutual-friend-count term. The density term
@@ -54,9 +56,12 @@ class NetworkSimilarity {
   double Compute(const SocialGraph& graph, UserId owner,
                  UserId stranger) const;
 
-  /// NS(owner, s) for every s in `strangers`, in order.
+  /// NS(owner, s) for every s in `strangers`, in order. Per-stranger
+  /// computations are independent; an optional pool fans them out (null =
+  /// serial, same values either way).
   std::vector<double> ComputeBatch(const SocialGraph& graph, UserId owner,
-                                   const std::vector<UserId>& strangers) const;
+                                   const std::vector<UserId>& strangers,
+                                   ThreadPool* pool = nullptr) const;
 
   const NetworkSimilarityConfig& config() const { return config_; }
 

@@ -71,8 +71,20 @@ void ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([&fn, i] { fn(i); });
+  // Contiguous chunks, several per worker: one task per index would pay
+  // queue traffic per call, and exactly one chunk per worker would stall
+  // on uneven per-index cost (e.g. the triangular row loop of the
+  // similarity-matrix build).
+  size_t chunks = std::min(n, pool->num_threads() * 8);
+  size_t base = n / chunks;
+  size_t remainder = n % chunks;
+  size_t start = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t end = start + base + (c < remainder ? 1 : 0);
+    pool->Submit([&fn, start, end] {
+      for (size_t i = start; i < end; ++i) fn(i);
+    });
+    start = end;
   }
   pool->Wait();
 }

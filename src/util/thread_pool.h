@@ -50,7 +50,9 @@ class ThreadPool {
 };
 
 /// Runs fn(0..n-1) across `pool` and blocks until all calls finish.
-/// With a null pool, runs inline (useful for tests and small n).
+/// Indices are dispatched as contiguous chunks (several per worker), so
+/// within a chunk calls run in ascending order on one thread. With a null
+/// pool, runs inline (useful for tests and small n).
 /// Must not be called from inside a pool task (Wait() from a worker can
 /// deadlock once every worker is blocked waiting).
 void ParallelFor(ThreadPool* pool, size_t n,

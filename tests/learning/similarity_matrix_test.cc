@@ -95,5 +95,129 @@ TEST(SimilarityMatrixTest, SizeZeroAndOneAreFine) {
   EXPECT_DOUBLE_EQ(one.RowSum(0), 0.0);
 }
 
+// Deterministic pseudo-random weights for the CSR round-trip tests.
+SimilarityMatrix MakeRandomMatrix(size_t n, double density, uint64_t seed) {
+  SimilarityMatrix m(n);
+  uint64_t state = seed;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (next_unit() < density) m.Set(i, j, 0.05 + next_unit());
+    }
+  }
+  return m;
+}
+
+TEST(SimilarityMatrixCompactTest, NeighborsRoundTripsAgainstGet) {
+  SimilarityMatrix m = MakeRandomMatrix(37, 0.3, 11);
+  size_t edges_before = m.NumEdges();
+  m.Compact();
+  ASSERT_TRUE(m.compacted());
+  EXPECT_EQ(m.NumEdges(), edges_before);
+
+  size_t directed_entries = 0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    size_t prev = m.size();  // sentinel: no valid neighbor equals size()
+    for (const Neighbor& nb : m.Neighbors(i)) {
+      // Every CSR entry matches the dense accessor exactly.
+      EXPECT_DOUBLE_EQ(nb.weight, m.Get(i, nb.index));
+      EXPECT_GT(nb.weight, 0.0);
+      EXPECT_NE(nb.index, i);
+      // Rows are sorted by neighbor index.
+      if (prev != m.size()) EXPECT_GT(nb.index, prev);
+      prev = nb.index;
+      ++directed_entries;
+    }
+    // And every positive dense entry appears in the row.
+    size_t positive = 0;
+    for (size_t j = 0; j < m.size(); ++j) {
+      if (m.Get(i, j) > 0.0) ++positive;
+    }
+    EXPECT_EQ(m.Neighbors(i).size(), positive);
+  }
+  EXPECT_EQ(directed_entries, 2 * edges_before);
+}
+
+TEST(SimilarityMatrixCompactTest, RowSumMatchesDenseAfterCompact) {
+  SimilarityMatrix m = MakeRandomMatrix(25, 0.4, 99);
+  std::vector<double> dense_sums;
+  for (size_t i = 0; i < m.size(); ++i) dense_sums.push_back(m.RowSum(i));
+  m.Compact();
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.RowSum(i), dense_sums[i]);
+  }
+}
+
+TEST(SimilarityMatrixCompactTest, SparsifyTopKThenCompactIterates) {
+  SimilarityMatrix m = MakeRandomMatrix(40, 0.6, 5);
+  m.SparsifyTopK(3);
+  m.Compact();
+  for (size_t i = 0; i < m.size(); ++i) {
+    for (const Neighbor& nb : m.Neighbors(i)) {
+      EXPECT_DOUBLE_EQ(nb.weight, m.Get(i, nb.index));
+    }
+  }
+  // Survivor degree can exceed k (either-endpoint rule) but the total
+  // edge count matches the dense view.
+  size_t directed = 0;
+  for (size_t i = 0; i < m.size(); ++i) directed += m.Neighbors(i).size();
+  EXPECT_EQ(directed, 2 * m.NumEdges());
+}
+
+TEST(SimilarityMatrixCompactTest, SetInvalidatesCompactView) {
+  SimilarityMatrix m(4);
+  m.Set(0, 1, 0.5);
+  m.Compact();
+  ASSERT_TRUE(m.compacted());
+  m.Set(2, 3, 0.7);
+  EXPECT_FALSE(m.compacted());
+  m.Compact();
+  EXPECT_EQ(m.Neighbors(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.Neighbors(2)[0].weight, 0.7);
+}
+
+TEST(SimilarityMatrixCompactTest, SparsifyInvalidatesCompactView) {
+  SimilarityMatrix m = MakeRandomMatrix(10, 0.8, 3);
+  m.Compact();
+  m.SparsifyTopK(1);
+  EXPECT_FALSE(m.compacted());
+}
+
+TEST(SimilarityMatrixCompactTest, CompactIsIdempotentAndHandlesEdgeSizes) {
+  SimilarityMatrix empty(0);
+  empty.Compact();
+  EXPECT_TRUE(empty.compacted());
+
+  SimilarityMatrix one(1);
+  one.Compact();
+  EXPECT_EQ(one.Neighbors(0).size(), 0u);
+
+  SimilarityMatrix m = MakeRandomMatrix(8, 0.5, 17);
+  m.Compact();
+  m.Compact();  // no-op
+  EXPECT_TRUE(m.compacted());
+}
+
+TEST(SimilarityMatrixCompactTest, BuildCsrOnConstMatrixMatchesCompact) {
+  SimilarityMatrix m = MakeRandomMatrix(20, 0.3, 42);
+  const SimilarityMatrix& view = m;
+  std::vector<size_t> offsets;
+  std::vector<Neighbor> neighbors;
+  view.BuildCsr(&offsets, &neighbors);
+  m.Compact();
+  ASSERT_EQ(offsets.size(), m.size() + 1);
+  for (size_t i = 0; i < m.size(); ++i) {
+    auto row = m.Neighbors(i);
+    ASSERT_EQ(offsets[i + 1] - offsets[i], row.size());
+    for (size_t t = 0; t < row.size(); ++t) {
+      EXPECT_EQ(neighbors[offsets[i] + t].index, row[t].index);
+      EXPECT_DOUBLE_EQ(neighbors[offsets[i] + t].weight, row[t].weight);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sight

@@ -78,6 +78,68 @@ TEST(ParallelForTest, ZeroIterations) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, hits.size(), [&hits](size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsWithNullPool) {
+  bool called = false;
+  ParallelFor(nullptr, 0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, StressRepeatedMixedSizeRanges) {
+  // Many back-to-back ranges on one pool, including zero-length and
+  // n < num_threads, must each cover every index exactly once.
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1000u}) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, StressBodiesSubmitFollowUpTasks) {
+  // ParallelFor bodies may enqueue extra work on the same pool; the
+  // trailing Wait() must cover those nested submits too.
+  ThreadPool pool(4);
+  std::atomic<int> direct{0};
+  std::atomic<int> nested{0};
+  ParallelFor(&pool, 50, [&](size_t) {
+    direct.fetch_add(1);
+    pool.Submit([&nested] { nested.fetch_add(1); });
+  });
+  EXPECT_EQ(direct.load(), 50);
+  EXPECT_EQ(nested.load(), 50);
+}
+
+TEST(ParallelForTest, StressDeeplyNestedSubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::function<void(int)> chain = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth > 0) {
+      pool.Submit([&chain, depth] { chain(depth - 1); });
+      pool.Submit([&chain, depth] { chain(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&chain] { chain(5); });
+  }
+  pool.Wait();
+  // 8 binary trees of depth 5: 8 * (2^6 - 1) nodes.
+  EXPECT_EQ(counter.load(), 8 * 63);
+}
+
 TEST(ParallelForTest, ParallelSumMatchesSequential) {
   ThreadPool pool(8);
   const size_t n = 1000;
