@@ -7,7 +7,20 @@ namespace sight {
 void ClusterSummary::Add(const Profile& profile) {
   for (AttributeId a = 0; a < supports_.size(); ++a) {
     if (profile.IsMissing(a)) continue;
-    ++supports_[a][profile.value(a)];
+    uint32_t code = codec_->Intern(a, profile.value(a));
+    if (code >= supports_[a].size()) supports_[a].resize(code + 1, 0);
+    ++supports_[a][code];
+    ++totals_[a];
+  }
+  ++size_;
+}
+
+void ClusterSummary::AddCodes(const uint32_t* codes) {
+  for (AttributeId a = 0; a < supports_.size(); ++a) {
+    uint32_t code = codes[a];
+    if (code == ProfileCodec::kMissingCode) continue;
+    if (code >= supports_[a].size()) supports_[a].resize(code + 1, 0);
+    ++supports_[a][code];
     ++totals_[a];
   }
   ++size_;
@@ -16,8 +29,7 @@ void ClusterSummary::Add(const Profile& profile) {
 size_t ClusterSummary::Support(AttributeId attr,
                                const std::string& value) const {
   if (attr >= supports_.size()) return 0;
-  auto it = supports_[attr].find(value);
-  return it == supports_[attr].end() ? 0 : it->second;
+  return SupportByCode(attr, codec_->Code(attr, value));
 }
 
 size_t ClusterSummary::TotalSupport(AttributeId attr) const {
@@ -55,6 +67,20 @@ Result<Squeezer> Squeezer::Create(const ProfileSchema& schema,
   return Squeezer(config.threshold, std::move(weights));
 }
 
+double Squeezer::Similarity(const uint32_t* codes,
+                            const ClusterSummary& summary) const {
+  double sim = 0.0;
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    if (codes[a] == ProfileCodec::kMissingCode) continue;
+    size_t total = summary.TotalSupport(a);
+    if (total == 0) continue;
+    sim += weights_[a] *
+           (static_cast<double>(summary.SupportByCode(a, codes[a])) /
+            static_cast<double>(total));
+  }
+  return sim;
+}
+
 double Squeezer::Similarity(const Profile& profile,
                             const ClusterSummary& summary) const {
   double sim = 0.0;
@@ -63,7 +89,9 @@ double Squeezer::Similarity(const Profile& profile,
     size_t total = summary.TotalSupport(a);
     if (total == 0) continue;
     sim += weights_[a] *
-           (static_cast<double>(summary.Support(a, profile.value(a))) /
+           (static_cast<double>(
+                summary.SupportByCode(a, summary.codec().Code(
+                                              a, profile.value(a)))) /
             static_cast<double>(total));
   }
   return sim;
@@ -94,22 +122,25 @@ Result<size_t> IncrementalSqueezer::Add(const ProfileTable& table,
     return Status::InvalidArgument(
         "profile table schema does not match the Squeezer schema");
   }
-  const Profile& p = table.Get(user);
+  // Encode once (interning any new values — fresh codes have support 0 in
+  // every existing summary, matching the string path's map misses), then
+  // score each cluster on the codes.
+  codec_->EncodeInto(table.Get(user), code_buf_.data());
   double best_sim = -1.0;
   size_t best_cluster = 0;
   for (size_t c = 0; c < summaries_.size(); ++c) {
-    double sim = squeezer_.Similarity(p, summaries_[c]);
+    double sim = squeezer_.Similarity(code_buf_.data(), summaries_[c]);
     if (sim > best_sim) {
       best_sim = sim;
       best_cluster = c;
     }
   }
   if (summaries_.empty() || best_sim < squeezer_.threshold()) {
-    summaries_.emplace_back(num_attributes_);
+    summaries_.emplace_back(codec_);
     clustering_.clusters.emplace_back();
     best_cluster = summaries_.size() - 1;
   }
-  summaries_[best_cluster].Add(p);
+  summaries_[best_cluster].AddCodes(code_buf_.data());
   clustering_.clusters[best_cluster].push_back(user);
   clustering_.assignments.push_back(best_cluster);
   return best_cluster;

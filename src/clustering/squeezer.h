@@ -11,32 +11,63 @@
 // s joins the most similar cluster if that similarity reaches the threshold
 // beta, otherwise it starts a new cluster. Weights w_i let callers emphasize
 // attributes (the paper mines them via information gain ratio).
+//
+// Hot path: one ProfileCodec is shared by all cluster summaries of a run;
+// each arriving profile is dictionary-encoded once, and the per-cluster
+// support lookups are code-indexed array loads instead of string hashing.
+// The string-based entry points delegate through the codec, so both paths
+// produce bitwise-identical similarities and therefore identical clusters.
 
 #ifndef SIGHT_CLUSTERING_SQUEEZER_H_
 #define SIGHT_CLUSTERING_SQUEEZER_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/profile.h"
+#include "graph/profile_codec.h"
 #include "graph/types.h"
 #include "util/status.h"
 
 namespace sight {
 
 /// Incremental per-cluster value supports (the "cluster summary" of the
-/// Squeezer paper): for each attribute, value -> member count.
+/// Squeezer paper): for each attribute, value -> member count, stored as
+/// code-indexed vectors over a dictionary shared with sibling summaries.
 class ClusterSummary {
  public:
+  /// Stand-alone summary with its own value dictionary (unit tests,
+  /// ad-hoc callers).
   explicit ClusterSummary(size_t num_attributes)
-      : supports_(num_attributes), totals_(num_attributes, 0) {}
+      : ClusterSummary(std::make_shared<ProfileCodec>(num_attributes)) {}
 
-  /// Adds one profile's values to the summary (missing values skipped).
+  /// Summary sharing `codec` with its siblings — one dictionary per
+  /// clustering run, so a profile is encoded once and compared against
+  /// every summary by code.
+  explicit ClusterSummary(std::shared_ptr<ProfileCodec> codec)
+      : codec_(std::move(codec)), supports_(codec_->num_attributes()),
+        totals_(codec_->num_attributes(), 0) {}
+
+  /// Adds one profile's values to the summary (missing values skipped),
+  /// interning them into the shared dictionary.
   void Add(const Profile& profile);
+
+  /// Hot path: adds an already-encoded row (num_attributes codes from the
+  /// shared codec).
+  void AddCodes(const uint32_t* codes);
 
   /// Sup(value) for `attr`: members of this cluster with that value.
   size_t Support(AttributeId attr, const std::string& value) const;
+
+  /// Sup() by dictionary code; codes this summary never saw (including
+  /// ProfileCodec::kUnknownValue) read as 0.
+  size_t SupportByCode(AttributeId attr, uint32_t code) const {
+    if (attr >= supports_.size()) return 0;
+    const std::vector<size_t>& s = supports_[attr];
+    return code < s.size() ? s[code] : 0;
+  }
 
   /// Sum of supports over all values of `attr` (= members with a
   /// non-missing value for attr).
@@ -44,8 +75,11 @@ class ClusterSummary {
 
   size_t size() const { return size_; }
 
+  const ProfileCodec& codec() const { return *codec_; }
+
  private:
-  std::vector<std::unordered_map<std::string, size_t>> supports_;
+  std::shared_ptr<ProfileCodec> codec_;
+  std::vector<std::vector<size_t>> supports_;  // [attr][code]
   std::vector<size_t> totals_;
   size_t size_ = 0;
 };
@@ -81,6 +115,11 @@ class Squeezer {
   double Similarity(const Profile& profile,
                     const ClusterSummary& summary) const;
 
+  /// Hot path: Definition 2 similarity of an encoded row (codes from the
+  /// summary's shared codec).
+  double Similarity(const uint32_t* codes,
+                    const ClusterSummary& summary) const;
+
   /// Clusters `users` (profiles from `table`) in the given order.
   Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users) const;
@@ -102,7 +141,8 @@ class Squeezer {
 /// cluster summaries stay alive between batches, so a stranger discovered
 /// next week joins the cluster its profile matches today — assignments
 /// never change retroactively, exactly the one-pass semantics of the
-/// batch algorithm stretched over time.
+/// batch algorithm stretched over time. The shared dictionary grows with
+/// the data; codes once assigned never change, so summaries stay valid.
 class IncrementalSqueezer {
  public:
   static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
@@ -123,10 +163,14 @@ class IncrementalSqueezer {
 
  private:
   IncrementalSqueezer(Squeezer squeezer, size_t num_attributes)
-      : squeezer_(std::move(squeezer)), num_attributes_(num_attributes) {}
+      : squeezer_(std::move(squeezer)), num_attributes_(num_attributes),
+        codec_(std::make_shared<ProfileCodec>(num_attributes)),
+        code_buf_(num_attributes) {}
 
   Squeezer squeezer_;
   size_t num_attributes_;
+  std::shared_ptr<ProfileCodec> codec_;
+  std::vector<uint32_t> code_buf_;  // scratch row for the profile at hand
   std::vector<ClusterSummary> summaries_;
   Clustering clustering_;
 };

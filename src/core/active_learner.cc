@@ -264,23 +264,29 @@ Result<ActiveLearner> ActiveLearner::Create(
   size_t num_pools = pools.pools.size();
 
   // Per-pool scaffolding (cheap relative to the pairwise loop below):
-  // value frequencies from the pool itself (Section III-C), the weight
+  // the pool's profiles dictionary-encoded once, value frequencies from
+  // the pool itself (Section III-C) indexed by those codes, the weight
   // matrix to fill, and the display vectors surfaced to the oracle.
+  std::vector<EncodedProfileTable> encoded;
   std::vector<ValueFrequencyTable> freqs;
   std::vector<SimilarityMatrix> weights;
   std::vector<std::vector<double>> sims(num_pools);
   std::vector<std::vector<double>> bens(num_pools);
+  encoded.reserve(num_pools);
   freqs.reserve(num_pools);
   weights.reserve(num_pools);
   // Flattened (pool, row) index space so one ParallelFor load-balances
   // the similarity rows of every pool at once.
   std::vector<size_t> row_base(num_pools + 1, 0);
+  size_t total_pairs = 0;
   for (size_t p = 0; p < num_pools; ++p) {
     const StrangerPool& pool = pools.pools[p];
     size_t n = pool.members.size();
-    freqs.push_back(ValueFrequencyTable::Build(profiles, pool.members));
+    encoded.push_back(EncodedProfileTable::Build(profiles, pool.members));
+    freqs.push_back(ValueFrequencyTable::Build(encoded.back()));
     weights.emplace_back(n);
     row_base[p + 1] = row_base[p] + n;
+    total_pairs += n * (n - 1) / 2;
     sims[p].assign(n, 0.0);
     bens[p].assign(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
@@ -297,20 +303,23 @@ Result<ActiveLearner> ActiveLearner::Create(
 
   // Edge weights: the O(n^2) pairwise profile-similarity computation is
   // embarrassingly parallel over rows. Every (i, j>i) pair maps to a
-  // distinct matrix entry, so rows write without synchronization.
+  // distinct matrix entry, so rows write without synchronization. Rows
+  // run on the encoded view: integer compares plus code-indexed frequency
+  // loads, bitwise-identical to the string path.
+  ParallelForOptions pf;
+  pf.total_work = total_pairs;
   ParallelFor(config.thread_pool, row_base.back(), [&](size_t r) {
     size_t p = static_cast<size_t>(
                    std::upper_bound(row_base.begin(), row_base.end(), r) -
                    row_base.begin()) -
                1;
     size_t i = r - row_base[p];
-    const StrangerPool& pool = pools.pools[p];
-    const Profile& pi = profiles.Get(pool.members[i]);
-    for (size_t j = i + 1; j < pool.members.size(); ++j) {
-      weights[p].Set(i, j,
-                     ps.Compute(pi, profiles.Get(pool.members[j]), freqs[p]));
+    const EncodedProfileTable& enc = encoded[p];
+    const uint32_t* row_i = enc.row(i);
+    for (size_t j = i + 1; j < enc.num_rows(); ++j) {
+      weights[p].Set(i, j, ps.Compute(row_i, enc.row(j), freqs[p]));
     }
-  });
+  }, pf);
 
   // Per-pool learner setup (sparsification, CSR compaction, label
   // seeding) is independent across pools; statuses are surfaced in pool

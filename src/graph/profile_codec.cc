@@ -1,0 +1,45 @@
+#include "graph/profile_codec.h"
+
+namespace sight {
+
+uint32_t ProfileCodec::Intern(AttributeId attr, const std::string& value) {
+  if (value.empty()) return kMissingCode;
+  auto& dict = dicts_[attr];
+  auto it = dict.find(value);
+  if (it != dict.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_[attr].size());
+  dict.emplace(value, code);
+  values_[attr].push_back(value);
+  return code;
+}
+
+uint32_t ProfileCodec::Code(AttributeId attr, const std::string& value) const {
+  if (value.empty()) return kMissingCode;
+  const auto& dict = dicts_[attr];
+  auto it = dict.find(value);
+  return it == dict.end() ? kUnknownValue : it->second;
+}
+
+void ProfileCodec::EncodeInto(const Profile& profile, uint32_t* out) {
+  for (AttributeId a = 0; a < dicts_.size(); ++a) {
+    out[a] = profile.IsMissing(a) ? kMissingCode : Intern(a, profile.value(a));
+  }
+}
+
+EncodedProfileTable EncodedProfileTable::Build(const ProfileTable& table,
+                                               const std::vector<UserId>& users,
+                                               const ProfileCodec* base) {
+  size_t num_attrs = table.schema().num_attributes();
+  EncodedProfileTable result(base != nullptr ? *base
+                                             : ProfileCodec(num_attrs),
+                             users, num_attrs);
+  result.codes_.resize(users.size() * num_attrs);
+  uint32_t* out = result.codes_.data();
+  for (UserId u : users) {
+    result.codec_.EncodeInto(table.Get(u), out);
+    out += num_attrs;
+  }
+  return result;
+}
+
+}  // namespace sight

@@ -1,0 +1,124 @@
+// Dictionary encoding for categorical profiles.
+//
+// The paper's profile similarity (Definition 2/3) and Squeezer clustering
+// only ever ask two questions of an attribute value: "are these two values
+// the same?" and "how often does this value occur in the pool?". Strings
+// answer both slowly (byte compares, hash lookups); interning each
+// attribute's observed values into dense uint32_t codes answers them with
+// an integer compare and an array load. A ProfileCodec holds the
+// per-attribute dictionaries; an EncodedProfileTable is a pool's profiles
+// re-expressed as flat code rows, built once per pool and then read by the
+// O(n^2) similarity kernels.
+//
+// Code space per attribute: kMissingCode (0) is the sentinel for missing
+// values; observed values get codes 1..NumCodes-1 in first-seen order.
+// Code() on a never-interned value returns kUnknownValue, which no code
+// array contains, so support/frequency lookups for it are 0 — exactly the
+// unordered_map-miss semantics of the string path.
+
+#ifndef SIGHT_GRAPH_PROFILE_CODEC_H_
+#define SIGHT_GRAPH_PROFILE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/profile.h"
+#include "graph/types.h"
+
+namespace sight {
+
+/// Per-attribute string -> dense code dictionaries. Interning is
+/// append-only: a value's code never changes once assigned, so encoded
+/// rows stay valid as the dictionary grows (the incremental-Squeezer
+/// arrangement). Not thread-safe for concurrent Intern; const lookups on
+/// a no-longer-growing codec are safe to share across threads.
+class ProfileCodec {
+ public:
+  /// Sentinel code for missing values (the empty string).
+  static constexpr uint32_t kMissingCode = 0;
+  /// Returned by Code() for values never interned. Larger than any real
+  /// code, so bounds-checked array lookups naturally read it as "absent".
+  static constexpr uint32_t kUnknownValue = 0xFFFFFFFFu;
+
+  explicit ProfileCodec(size_t num_attributes)
+      : dicts_(num_attributes), values_(num_attributes) {
+    for (auto& v : values_) v.emplace_back();  // code 0 = ""
+  }
+
+  size_t num_attributes() const { return dicts_.size(); }
+
+  /// Code for `value` under `attr`, interning it when unseen. "" maps to
+  /// kMissingCode without touching the dictionary.
+  uint32_t Intern(AttributeId attr, const std::string& value);
+
+  /// Code for `value` under `attr`; kMissingCode for "", kUnknownValue
+  /// when never interned.
+  uint32_t Code(AttributeId attr, const std::string& value) const;
+
+  /// Exclusive upper bound on codes assigned for `attr` (1 + distinct
+  /// interned values). Every Intern() result is < NumCodes(attr).
+  size_t NumCodes(AttributeId attr) const { return values_[attr].size(); }
+
+  /// The string a code decodes to ("" for kMissingCode). `code` must be
+  /// < NumCodes(attr).
+  const std::string& Value(AttributeId attr, uint32_t code) const {
+    return values_[attr][code];
+  }
+
+  /// Encodes one profile into `out` (num_attributes() entries), interning
+  /// unseen values. Short value vectors read as missing.
+  void EncodeInto(const Profile& profile, uint32_t* out);
+
+ private:
+  std::vector<std::unordered_map<std::string, uint32_t>> dicts_;
+  // values_[attr][code] is the decoded string; slot 0 is "".
+  std::vector<std::vector<std::string>> values_;
+};
+
+/// The profiles of one user pool as a row-major matrix of codes: row i is
+/// users()[i]'s profile, one uint32_t per schema attribute. Built once per
+/// pool; the similarity hot paths then run entirely on the codes.
+class EncodedProfileTable {
+ public:
+  /// Encodes the profiles of `users` from `table`. When `base` is given,
+  /// its dictionary is the starting point (copied), so values shared with
+  /// the base keep their base codes and new values extend the code space —
+  /// this is how profiles outside a frequency pool are encoded against the
+  /// pool's codec (their novel values get codes the frequency arrays do
+  /// not contain, i.e. frequency 0).
+  static EncodedProfileTable Build(const ProfileTable& table,
+                                   const std::vector<UserId>& users,
+                                   const ProfileCodec* base = nullptr);
+
+  size_t num_rows() const { return users_.size(); }
+  size_t num_attributes() const { return num_attributes_; }
+
+  /// Row of codes for the i-th user (num_attributes() entries).
+  const uint32_t* row(size_t i) const {
+    return codes_.data() + i * num_attributes_;
+  }
+
+  uint32_t code(size_t i, AttributeId attr) const {
+    return codes_[i * num_attributes_ + attr];
+  }
+
+  const std::vector<UserId>& users() const { return users_; }
+  const ProfileCodec& codec() const { return codec_; }
+
+ private:
+  EncodedProfileTable(ProfileCodec codec, std::vector<UserId> users,
+                      size_t num_attributes)
+      : codec_(std::move(codec)), users_(std::move(users)),
+        num_attributes_(num_attributes) {}
+
+  ProfileCodec codec_;
+  std::vector<UserId> users_;
+  size_t num_attributes_;
+  std::vector<uint32_t> codes_;  // row-major, num_rows x num_attributes
+};
+
+}  // namespace sight
+
+#endif  // SIGHT_GRAPH_PROFILE_CODEC_H_

@@ -6,30 +6,71 @@
 
 namespace sight {
 
-ValueFrequencyTable ValueFrequencyTable::Build(
-    const ProfileTable& table, const std::vector<UserId>& users) {
+ValueFrequencyTable ValueFrequencyTable::FromCounts(
+    ProfileCodec codec, std::vector<std::vector<size_t>> counts,
+    std::vector<size_t> totals) {
   ValueFrequencyTable result;
-  size_t num_attrs = table.schema().num_attributes();
-  result.counts_.resize(num_attrs);
-  result.totals_.assign(num_attrs, 0);
-  for (UserId u : users) {
-    const Profile& p = table.Get(u);
-    for (AttributeId a = 0; a < num_attrs; ++a) {
-      if (p.IsMissing(a)) continue;
-      ++result.counts_[a][p.value(a)];
-      ++result.totals_[a];
+  result.codec_ = std::move(codec);
+  result.totals_ = std::move(totals);
+  size_t num_attrs = counts.size();
+  result.freq_.resize(num_attrs);
+  result.distinct_.assign(num_attrs, 0);
+  for (AttributeId a = 0; a < num_attrs; ++a) {
+    // The ratio is the same count/total division the string path used to
+    // perform per lookup, so precomputing it is bitwise-neutral.
+    result.freq_[a].assign(counts[a].size(), 0.0);
+    double total = static_cast<double>(result.totals_[a]);
+    for (uint32_t code = 1; code < counts[a].size(); ++code) {
+      if (counts[a][code] == 0) continue;
+      ++result.distinct_[a];
+      result.freq_[a][code] = static_cast<double>(counts[a][code]) / total;
     }
   }
   return result;
 }
 
+ValueFrequencyTable ValueFrequencyTable::Build(
+    const ProfileTable& table, const std::vector<UserId>& users) {
+  size_t num_attrs = table.schema().num_attributes();
+  ProfileCodec codec(num_attrs);
+  std::vector<std::vector<size_t>> counts(num_attrs);
+  std::vector<size_t> totals(num_attrs, 0);
+  for (UserId u : users) {
+    const Profile& p = table.Get(u);
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      if (p.IsMissing(a)) continue;
+      uint32_t code = codec.Intern(a, p.value(a));
+      if (code >= counts[a].size()) counts[a].resize(code + 1, 0);
+      ++counts[a][code];
+      ++totals[a];
+    }
+  }
+  return FromCounts(std::move(codec), std::move(counts), std::move(totals));
+}
+
+ValueFrequencyTable ValueFrequencyTable::Build(
+    const EncodedProfileTable& encoded) {
+  size_t num_attrs = encoded.num_attributes();
+  std::vector<std::vector<size_t>> counts(num_attrs);
+  for (AttributeId a = 0; a < num_attrs; ++a) {
+    counts[a].assign(encoded.codec().NumCodes(a), 0);
+  }
+  std::vector<size_t> totals(num_attrs, 0);
+  for (size_t i = 0; i < encoded.num_rows(); ++i) {
+    const uint32_t* row = encoded.row(i);
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      if (row[a] == ProfileCodec::kMissingCode) continue;
+      ++counts[a][row[a]];
+      ++totals[a];
+    }
+  }
+  return FromCounts(encoded.codec(), std::move(counts), std::move(totals));
+}
+
 double ValueFrequencyTable::Frequency(AttributeId attr,
                                       const std::string& value) const {
-  if (attr >= counts_.size() || totals_[attr] == 0) return 0.0;
-  auto it = counts_[attr].find(value);
-  if (it == counts_[attr].end()) return 0.0;
-  return static_cast<double>(it->second) /
-         static_cast<double>(totals_[attr]);
+  if (attr >= freq_.size() || totals_[attr] == 0) return 0.0;
+  return FrequencyByCode(attr, codec_.Code(attr, value));
 }
 
 size_t ValueFrequencyTable::Support(AttributeId attr) const {
@@ -37,7 +78,7 @@ size_t ValueFrequencyTable::Support(AttributeId attr) const {
 }
 
 size_t ValueFrequencyTable::NumDistinct(AttributeId attr) const {
-  return attr < counts_.size() ? counts_[attr].size() : 0;
+  return attr < distinct_.size() ? distinct_[attr] : 0;
 }
 
 Result<ProfileSimilarity> ProfileSimilarity::Create(
@@ -90,6 +131,24 @@ double ProfileSimilarity::Compute(const ProfileTable& table, UserId a,
                                   UserId b,
                                   const ValueFrequencyTable& freqs) const {
   return Compute(table.Get(a), table.Get(b), freqs);
+}
+
+double ProfileSimilarity::Compute(const uint32_t* a, const uint32_t* b,
+                                  const ValueFrequencyTable& freqs) const {
+  double total = 0.0;
+  for (AttributeId attr = 0; attr < weights_.size(); ++attr) {
+    uint32_t ca = a[attr];
+    uint32_t cb = b[attr];
+    if (ca == ProfileCodec::kMissingCode ||
+        cb == ProfileCodec::kMissingCode) {
+      continue;
+    }
+    double sim = ca == cb ? 1.0
+                          : std::min(freqs.FrequencyByCode(attr, ca),
+                                     freqs.FrequencyByCode(attr, cb));
+    total += weights_[attr] * sim;
+  }
+  return total;
 }
 
 }  // namespace sight

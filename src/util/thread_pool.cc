@@ -65,17 +65,36 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn) {
-  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+bool ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 const ParallelForOptions& options) {
+  // Workers beyond the machine's cores cannot speed up a CPU-bound loop;
+  // they only add context-switch and cache-migration overhead (measured
+  // as a 0.89-0.94x "speedup" on a single-core host).
+  size_t hardware = std::thread::hardware_concurrency();
+  size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (hardware > 0) workers = std::min(workers, hardware);
+  bool too_little_work =
+      options.total_work > 0 && options.total_work < options.min_parallel_work;
+  if (workers <= 1 || n <= 1 || too_little_work) {
     for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    // Preserve the parallel path's post-condition that follow-up tasks
+    // submitted by fn have finished when ParallelFor returns.
+    if (pool != nullptr) pool->Wait();
+    return false;
   }
   // Contiguous chunks, several per worker: one task per index would pay
   // queue traffic per call, and exactly one chunk per worker would stall
   // on uneven per-index cost (e.g. the triangular row loop of the
-  // similarity-matrix build).
-  size_t chunks = std::min(n, pool->num_threads() * 8);
+  // similarity-matrix build). With a known total, the grain is derived
+  // from it instead so no chunk carries less than ~1/8 of the minimum
+  // parallel work.
+  size_t chunks = std::min(n, workers * 8);
+  if (options.total_work > 0) {
+    size_t min_chunk_work = std::max<size_t>(1, options.min_parallel_work / 8);
+    chunks = std::min(chunks,
+                      std::max<size_t>(1, options.total_work / min_chunk_work));
+  }
   size_t base = n / chunks;
   size_t remainder = n % chunks;
   size_t start = 0;
@@ -87,6 +106,7 @@ void ParallelFor(ThreadPool* pool, size_t n,
     start = end;
   }
   pool->Wait();
+  return true;
 }
 
 }  // namespace sight

@@ -1,0 +1,130 @@
+// Unit tests for the dictionary encoding of categorical profiles
+// (ProfileCodec / EncodedProfileTable).
+
+#include "graph/profile_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+
+namespace sight {
+namespace {
+
+ProfileTable ThreeAttributeTable() {
+  auto schema =
+      ProfileSchema::Create({"gender", "locale", "hometown"}).value();
+  return ProfileTable(std::move(schema));
+}
+
+TEST(ProfileCodecTest, InternAssignsDenseCodesInFirstSeenOrder) {
+  ProfileCodec codec(2);
+  EXPECT_EQ(codec.Intern(0, "male"), 1u);
+  EXPECT_EQ(codec.Intern(0, "female"), 2u);
+  EXPECT_EQ(codec.Intern(0, "male"), 1u);
+  EXPECT_EQ(codec.NumCodes(0), 3u);  // "", "male", "female"
+
+  // Dictionaries are per-attribute: the same string gets an independent
+  // code under another attribute.
+  EXPECT_EQ(codec.Intern(1, "male"), 1u);
+  EXPECT_EQ(codec.NumCodes(1), 2u);
+}
+
+TEST(ProfileCodecTest, EmptyStringIsTheMissingSentinel) {
+  ProfileCodec codec(1);
+  EXPECT_EQ(codec.Intern(0, ""), ProfileCodec::kMissingCode);
+  EXPECT_EQ(codec.Code(0, ""), ProfileCodec::kMissingCode);
+  // The sentinel never grows the dictionary.
+  EXPECT_EQ(codec.NumCodes(0), 1u);
+  EXPECT_EQ(codec.Value(0, ProfileCodec::kMissingCode), "");
+}
+
+TEST(ProfileCodecTest, CodeOnNeverInternedValueIsUnknown) {
+  ProfileCodec codec(1);
+  codec.Intern(0, "tr");
+  EXPECT_EQ(codec.Code(0, "de"), ProfileCodec::kUnknownValue);
+  // kUnknownValue is out of every code array's range by construction.
+  EXPECT_GE(ProfileCodec::kUnknownValue, codec.NumCodes(0));
+  EXPECT_EQ(codec.Intern(0, "de"), 2u);
+  EXPECT_EQ(codec.Code(0, "de"), 2u);
+}
+
+TEST(ProfileCodecTest, ValueRoundTripsInternedCodes) {
+  ProfileCodec codec(1);
+  uint32_t tr = codec.Intern(0, "tr");
+  uint32_t de = codec.Intern(0, "de");
+  EXPECT_EQ(codec.Value(0, tr), "tr");
+  EXPECT_EQ(codec.Value(0, de), "de");
+}
+
+TEST(ProfileCodecTest, EncodeIntoTreatsShortVectorsAsMissing) {
+  ProfileCodec codec(3);
+  // A profile whose value vector is shorter than the schema reads as
+  // missing past its end (ProfileTable's all-missing default profile).
+  Profile profile;
+  profile.values = {"male"};
+  uint32_t codes[3] = {99, 99, 99};
+  codec.EncodeInto(profile, codes);
+  EXPECT_EQ(codes[0], 1u);
+  EXPECT_EQ(codes[1], ProfileCodec::kMissingCode);
+  EXPECT_EQ(codes[2], ProfileCodec::kMissingCode);
+}
+
+TEST(EncodedProfileTableTest, RowsMatchProfiles) {
+  ProfileTable table = ThreeAttributeTable();
+  ASSERT_TRUE(table.Set(5, Profile{{"male", "tr", "ankara"}}).ok());
+  ASSERT_TRUE(table.Set(9, Profile{{"female", "tr", ""}}).ok());
+  // User 7 has no profile: all attributes missing.
+  std::vector<UserId> users = {5, 9, 7};
+
+  EncodedProfileTable enc = EncodedProfileTable::Build(table, users);
+  ASSERT_EQ(enc.num_rows(), 3u);
+  ASSERT_EQ(enc.num_attributes(), 3u);
+  EXPECT_EQ(enc.users(), users);
+
+  // Identical strings share a code; distinct strings do not.
+  EXPECT_EQ(enc.code(0, 1), enc.code(1, 1));                  // "tr" == "tr"
+  EXPECT_NE(enc.code(0, 0), enc.code(1, 0));                  // male/female
+  EXPECT_EQ(enc.code(1, 2), ProfileCodec::kMissingCode);      // ""
+  EXPECT_EQ(enc.code(2, 0), ProfileCodec::kMissingCode);      // no profile
+  EXPECT_EQ(enc.code(2, 1), ProfileCodec::kMissingCode);
+  EXPECT_EQ(enc.code(2, 2), ProfileCodec::kMissingCode);
+
+  // Rows decode back to the stored strings.
+  for (size_t i = 0; i < enc.num_rows(); ++i) {
+    const Profile& profile = table.Get(users[i]);
+    for (AttributeId a = 0; a < enc.num_attributes(); ++a) {
+      const std::string& expected =
+          profile.IsMissing(a) ? std::string() : profile.value(a);
+      EXPECT_EQ(enc.codec().Value(a, enc.code(i, a)), expected)
+          << "row " << i << " attr " << a;
+    }
+  }
+}
+
+TEST(EncodedProfileTableTest, BaseCodecKeepsSharedCodesAndExtends) {
+  ProfileTable table = ThreeAttributeTable();
+  ASSERT_TRUE(table.Set(1, Profile{{"male", "tr", "ankara"}}).ok());
+  ASSERT_TRUE(table.Set(2, Profile{{"female", "tr", "izmir"}}).ok());
+  ASSERT_TRUE(table.Set(3, Profile{{"male", "de", "berlin"}}).ok());
+
+  EncodedProfileTable pool = EncodedProfileTable::Build(table, {1, 2});
+  const ProfileCodec& base = pool.codec();
+  size_t base_hometowns = base.NumCodes(2);
+
+  // Re-encode a superset against the pool's dictionary: values the pool
+  // saw keep their pool codes, novel values ("de", "berlin") get fresh
+  // codes past the base range.
+  EncodedProfileTable all =
+      EncodedProfileTable::Build(table, {1, 2, 3}, &base);
+  EXPECT_EQ(all.code(0, 0), pool.code(0, 0));
+  EXPECT_EQ(all.code(1, 0), pool.code(1, 0));
+  EXPECT_EQ(all.code(0, 1), pool.code(0, 1));
+  EXPECT_EQ(all.code(2, 0), pool.code(0, 0));  // "male" shared with user 1
+  EXPECT_GE(all.code(2, 1), base.NumCodes(1));  // "de" is novel
+  EXPECT_GE(all.code(2, 2), base_hometowns);    // "berlin" is novel
+  // The base dictionary itself is untouched (it was copied).
+  EXPECT_EQ(base.Code(1, "de"), ProfileCodec::kUnknownValue);
+}
+
+}  // namespace
+}  // namespace sight

@@ -1,0 +1,265 @@
+// The dictionary-encoded hot paths must be drop-in replacements for the
+// string paths — not approximately, but bitwise: PS values, Squeezer
+// assignments, and end-to-end learner predictions have to come out
+// identical, including for all-missing profiles and for values outside
+// the dictionary the frequencies were built from.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clustering/squeezer.h"
+#include "core/active_learner.h"
+#include "core/pool_builder.h"
+#include "graph/profile_codec.h"
+#include "learning/harmonic.h"
+#include "learning/sampling.h"
+#include "sim/facebook_generator.h"
+#include "similarity/profile_similarity.h"
+
+namespace sight {
+namespace {
+
+using sim::FacebookGenerator;
+using sim::Gender;
+using sim::GeneratorConfig;
+using sim::Locale;
+using sim::OwnerDataset;
+
+OwnerDataset MakeDataset(uint64_t seed, size_t strangers = 150) {
+  GeneratorConfig config;
+  config.num_friends = 40;
+  config.num_strangers = strangers;
+  config.num_communities = 4;
+  auto gen = FacebookGenerator::Create(config).value();
+  Rng rng(seed);
+  return gen.Generate({Gender::kFemale, Locale::kUS}, &rng).value();
+}
+
+// Appends users that stress the encoding edge cases: one with every value
+// missing and one whose values appear nowhere else in the table.
+std::vector<UserId> WithEdgeCaseUsers(ProfileTable* table,
+                                      std::vector<UserId> users) {
+  UserId all_missing = table->user_id_bound() + 1;
+  UserId exotic = all_missing + 1;
+  size_t n = table->schema().num_attributes();
+  Profile exotic_profile;
+  for (size_t a = 0; a < n; ++a) {
+    exotic_profile.values.push_back("zz-novel-" + std::to_string(a));
+  }
+  EXPECT_TRUE(table->Set(exotic, std::move(exotic_profile)).ok());
+  // `all_missing` is never Set: the table serves its all-missing default.
+  users.push_back(all_missing);
+  users.push_back(exotic);
+  return users;
+}
+
+TEST(EncodedEquivalenceTest, PairwiseSimilarityIsBitwiseIdentical) {
+  OwnerDataset ds = MakeDataset(211);
+  std::vector<UserId> pool =
+      WithEdgeCaseUsers(&ds.profiles, ds.strangers);
+
+  EncodedProfileTable enc = EncodedProfileTable::Build(ds.profiles, pool);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      double by_string = ps.Compute(ds.profiles, pool[i], pool[j], freqs);
+      double by_code = ps.Compute(enc, i, j, freqs);
+      // EXPECT_EQ, not EXPECT_NEAR: the encoded path must reproduce the
+      // exact same IEEE operations.
+      EXPECT_EQ(by_string, by_code)
+          << "pair (" << pool[i] << ", " << pool[j] << ")";
+    }
+  }
+}
+
+TEST(EncodedEquivalenceTest, OutOfDictionaryValuesMatchStringPath) {
+  OwnerDataset ds = MakeDataset(223);
+  // Frequencies come from a pool that excludes the edge-case users, so
+  // the exotic user's values are outside the frequency dictionary.
+  std::vector<UserId> pool = ds.strangers;
+  std::vector<UserId> all = WithEdgeCaseUsers(&ds.profiles, pool);
+
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(
+      EncodedProfileTable::Build(ds.profiles, pool));
+  // Encoding against the pool's codec keeps shared codes and pushes
+  // novel values past the frequency arrays (frequency 0, like a
+  // string-map miss).
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, all, &freqs.codec());
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+
+  for (size_t i = pool.size(); i < all.size(); ++i) {
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(ps.Compute(ds.profiles, all[i], all[j], freqs),
+                ps.Compute(enc, i, j, freqs))
+          << "pair (" << all[i] << ", " << all[j] << ")";
+    }
+  }
+}
+
+// String-only reimplementation of Squeezer's one-pass loop, kept
+// deliberately naive (unordered_map supports, no codec) as the reference
+// for the code-indexed implementation.
+std::vector<size_t> NaiveSqueezerAssignments(const ProfileTable& table,
+                                             const std::vector<UserId>& users,
+                                             const std::vector<double>& weights,
+                                             double threshold) {
+  size_t n = table.schema().num_attributes();
+  struct NaiveSummary {
+    std::vector<std::unordered_map<std::string, size_t>> supports;
+    std::vector<size_t> totals;
+  };
+  std::vector<NaiveSummary> clusters;
+  std::vector<size_t> assignments;
+  for (UserId u : users) {
+    const Profile& profile = table.Get(u);
+    double best_sim = -1.0;
+    size_t best = 0;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      double sim = 0.0;
+      for (AttributeId a = 0; a < n; ++a) {
+        if (profile.IsMissing(a)) continue;
+        size_t total = clusters[c].totals[a];
+        if (total == 0) continue;
+        auto it = clusters[c].supports[a].find(profile.value(a));
+        size_t support = it == clusters[c].supports[a].end() ? 0 : it->second;
+        sim += weights[a] * (static_cast<double>(support) /
+                             static_cast<double>(total));
+      }
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = c;
+      }
+    }
+    if (clusters.empty() || best_sim < threshold) {
+      clusters.push_back({std::vector<std::unordered_map<std::string, size_t>>(n),
+                          std::vector<size_t>(n, 0)});
+      best = clusters.size() - 1;
+    }
+    for (AttributeId a = 0; a < n; ++a) {
+      if (profile.IsMissing(a)) continue;
+      ++clusters[best].supports[a][profile.value(a)];
+      ++clusters[best].totals[a];
+    }
+    assignments.push_back(best);
+  }
+  return assignments;
+}
+
+TEST(EncodedEquivalenceTest, SqueezerAssignmentsMatchNaiveStringReference) {
+  OwnerDataset ds = MakeDataset(227, 250);
+  std::vector<UserId> users = WithEdgeCaseUsers(&ds.profiles, ds.strangers);
+  size_t n = ds.profiles.schema().num_attributes();
+  std::vector<double> uniform(n, 1.0 / static_cast<double>(n));
+
+  for (double threshold : {0.2, 0.4, 0.7}) {
+    SqueezerConfig config;
+    config.threshold = threshold;
+    // IncrementalSqueezer with empty weights gets exactly 1/n per
+    // attribute, matching the reference's weights bitwise.
+    auto incremental =
+        IncrementalSqueezer::Create(ds.profiles.schema(), config).value();
+    std::vector<size_t> assignments =
+        incremental.AddBatch(ds.profiles, users).value();
+    std::vector<size_t> expected =
+        NaiveSqueezerAssignments(ds.profiles, users, uniform, threshold);
+    EXPECT_EQ(assignments, expected) << "threshold " << threshold;
+  }
+}
+
+// Deterministic, stateless oracle so the encoded and string runs can
+// share it without coupling their query sequences through hidden state.
+class CyclicOracle : public LabelOracle {
+ public:
+  RiskLabel QueryLabel(UserId stranger, double, double) override {
+    return static_cast<RiskLabel>(kRiskLabelMin +
+                                  static_cast<int>(stranger % 3));
+  }
+};
+
+TEST(EncodedEquivalenceTest, LearnerPredictionsMatchStringPath) {
+  OwnerDataset ds = MakeDataset(229, 200);
+  PoolBuilderConfig pool_config;
+  auto builder = PoolBuilder::Create(pool_config).value();
+  PoolSet pools = builder.Build(ds.graph, ds.profiles, ds.owner).value();
+  std::vector<double> benefits(pools.strangers.size(), 0.5);
+
+  auto classifier = HarmonicFunctionClassifier::Create(HarmonicConfig{}).value();
+  RandomSampler sampler;
+  ActiveLearnerConfig config;
+
+  // Encoded path: the production ActiveLearner (its matrix fill runs on
+  // the dictionary-encoded view).
+  auto learner = ActiveLearner::Create(pools, ds.profiles, benefits, config,
+                                       &classifier, &sampler)
+                     .value();
+  CyclicOracle oracle;
+  Rng rng(331);
+  AssessmentResult encoded_result = learner.Run(&oracle, &rng).value();
+
+  // String path: rebuild every pool's weight matrix with the string
+  // overload of PS, then drive identical PoolLearners through the same
+  // round loop with a same-seeded Rng.
+  std::unordered_map<UserId, size_t> position;
+  for (size_t i = 0; i < pools.strangers.size(); ++i) {
+    position[pools.strangers[i]] = i;
+  }
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+  std::vector<StrangerAssessment> string_strangers;
+  size_t string_queries = 0;
+  Rng string_rng(331);
+  for (size_t p = 0; p < pools.pools.size(); ++p) {
+    const StrangerPool& pool = pools.pools[p];
+    size_t n = pool.members.size();
+    ValueFrequencyTable freqs =
+        ValueFrequencyTable::Build(ds.profiles, pool.members);
+    SimilarityMatrix weights(n);
+    std::vector<double> sims(n), bens(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        weights.Set(i, j, ps.Compute(ds.profiles, pool.members[i],
+                                     pool.members[j], freqs));
+      }
+      size_t pos = position.at(pool.members[i]);
+      sims[i] = pools.network_similarities[pos];
+      bens[i] = benefits[pos];
+    }
+    auto pool_learner =
+        PoolLearner::Create(pool, std::move(weights), std::move(sims),
+                            std::move(bens), config, &classifier, &sampler)
+            .value();
+    ASSERT_TRUE(pool_learner.RunToCompletion(&oracle, &string_rng).ok());
+    string_queries += pool_learner.num_queries();
+    for (size_t i = 0; i < pool.members.size(); ++i) {
+      StrangerAssessment sa;
+      sa.stranger = pool.members[i];
+      sa.predicted_score = pool_learner.predictions()[i];
+      sa.predicted_label = pool_learner.PredictedLabel(i);
+      sa.owner_labeled = pool_learner.IsOwnerLabeled(i);
+      string_strangers.push_back(sa);
+    }
+  }
+
+  // Identical matrices mean identical sampling, identical queries, and
+  // bitwise-identical predictions.
+  EXPECT_EQ(encoded_result.total_queries, string_queries);
+  ASSERT_EQ(encoded_result.strangers.size(), string_strangers.size());
+  for (size_t i = 0; i < string_strangers.size(); ++i) {
+    const StrangerAssessment& a = encoded_result.strangers[i];
+    const StrangerAssessment& b = string_strangers[i];
+    EXPECT_EQ(a.stranger, b.stranger);
+    EXPECT_EQ(a.predicted_score, b.predicted_score) << "stranger " << i;
+    EXPECT_EQ(a.predicted_label, b.predicted_label);
+    EXPECT_EQ(a.owner_labeled, b.owner_labeled);
+  }
+}
+
+}  // namespace
+}  // namespace sight
