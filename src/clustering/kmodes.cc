@@ -1,7 +1,6 @@
 #include "clustering/kmodes.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -39,6 +38,19 @@ double KModes::Distance(const Profile& profile,
   return dist;
 }
 
+double KModes::Distance(const uint32_t* row,
+                        const std::vector<uint32_t>& mode) const {
+  // Same weight-accumulation order as the string overload, so both paths
+  // perform identical IEEE additions. A missing value (code 0) never
+  // matches, mirroring IsMissing() above.
+  double dist = 0.0;
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    bool match = row[a] != ProfileCodec::kMissingCode && row[a] == mode[a];
+    if (!match) dist += weights_[a];
+  }
+  return dist;
+}
+
 Result<Clustering> KModes::Cluster(const ProfileTable& table,
                                    const std::vector<UserId>& users,
                                    Rng* rng) const {
@@ -47,46 +59,71 @@ Result<Clustering> KModes::Cluster(const ProfileTable& table,
     return Status::InvalidArgument(
         "profile table schema does not match the KModes schema");
   }
-  Clustering result;
-  if (users.empty()) return result;
+  if (users.empty()) return Clustering{};
+  return ClusterEncoded(EncodedProfileTable::Build(table, users), rng);
+}
 
-  size_t k = std::min(config_.k, users.size());
+Result<Clustering> KModes::ClusterEncoded(const EncodedProfileTable& enc,
+                                          Rng* rng) const {
+  SIGHT_CHECK(rng != nullptr);
+  if (enc.num_attributes() != weights_.size()) {
+    return Status::InvalidArgument(
+        "encoded table schema does not match the KModes schema");
+  }
+  Clustering result;
+  size_t num_users = enc.num_rows();
+  if (num_users == 0) return result;
+  const ProfileCodec& codec = enc.codec();
+  size_t num_attrs = weights_.size();
+
+  size_t k = std::min(config_.k, num_users);
   // Farthest-point seeding: the first seed is random; each further seed
   // maximizes its distance to the nearest existing seed. This avoids the
   // classic k-modes degeneracy of drawing two identical seeds and
   // collapsing clusters.
-  std::vector<std::vector<std::string>> modes;
+  std::vector<std::vector<uint32_t>> modes;
   modes.reserve(k);
-  size_t first =
-      static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(users.size()) - 1));
-  modes.push_back(table.Get(users[first]).values);
+  size_t first = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(num_users) - 1));
+  modes.emplace_back(enc.row(first), enc.row(first) + num_attrs);
   while (modes.size() < k) {
     double best_dist = -1.0;
     size_t best_idx = 0;
-    for (size_t i = 0; i < users.size(); ++i) {
-      const Profile& p = table.Get(users[i]);
-      double nearest = Distance(p, modes[0]);
+    for (size_t i = 0; i < num_users; ++i) {
+      const uint32_t* row = enc.row(i);
+      double nearest = Distance(row, modes[0]);
       for (size_t m = 1; m < modes.size(); ++m) {
-        nearest = std::min(nearest, Distance(p, modes[m]));
+        nearest = std::min(nearest, Distance(row, modes[m]));
       }
       if (nearest > best_dist) {
         best_dist = nearest;
         best_idx = i;
       }
     }
-    modes.push_back(table.Get(users[best_idx]).values);
+    modes.emplace_back(enc.row(best_idx), enc.row(best_idx) + num_attrs);
   }
 
-  std::vector<size_t> assignment(users.size(), 0);
+  std::vector<size_t> assignment(num_users, 0);
+  // counts[c][a][code] = members of cluster c whose attribute a holds
+  // `code`; code-indexed arrays replace the string path's per-cluster
+  // unordered_maps. Allocated once and zeroed per iteration.
+  std::vector<std::vector<std::vector<size_t>>> counts(
+      k, std::vector<std::vector<size_t>>(num_attrs));
+  for (size_t c = 0; c < k; ++c) {
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      counts[c][a].assign(codec.NumCodes(a), 0);
+    }
+  }
+
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     bool changed = false;
     // Assignment step.
-    for (size_t i = 0; i < users.size(); ++i) {
-      const Profile& p = table.Get(users[i]);
-      double best = Distance(p, modes[0]);
+    for (size_t i = 0; i < num_users; ++i) {
+      const uint32_t* row = enc.row(i);
+      double best = Distance(row, modes[0]);
       size_t best_c = 0;
       for (size_t c = 1; c < k; ++c) {
-        double d = Distance(p, modes[c]);
+        double d = Distance(row, modes[c]);
         if (d < best) {
           best = d;
           best_c = c;
@@ -99,43 +136,54 @@ Result<Clustering> KModes::Cluster(const ProfileTable& table,
     }
     if (!changed && iter > 0) break;
     // Update step: recompute per-attribute modes.
-    size_t num_attrs = weights_.size();
-    std::vector<std::vector<std::unordered_map<std::string, size_t>>> counts(
-        k, std::vector<std::unordered_map<std::string, size_t>>(num_attrs));
-    for (size_t i = 0; i < users.size(); ++i) {
-      const Profile& p = table.Get(users[i]);
+    for (size_t c = 0; c < k; ++c) {
       for (AttributeId a = 0; a < num_attrs; ++a) {
-        if (p.IsMissing(a)) continue;
-        ++counts[assignment[i]][a][p.value(a)];
+        std::fill(counts[c][a].begin(), counts[c][a].end(), 0);
+      }
+    }
+    for (size_t i = 0; i < num_users; ++i) {
+      const uint32_t* row = enc.row(i);
+      std::vector<std::vector<size_t>>& cluster_counts =
+          counts[assignment[i]];
+      for (AttributeId a = 0; a < num_attrs; ++a) {
+        if (row[a] == ProfileCodec::kMissingCode) continue;
+        ++cluster_counts[a][row[a]];
       }
     }
     for (size_t c = 0; c < k; ++c) {
       for (AttributeId a = 0; a < num_attrs; ++a) {
-        const auto& cnt = counts[c][a];
-        if (cnt.empty()) continue;  // keep previous mode value
-        auto best = cnt.begin();
-        for (auto it = cnt.begin(); it != cnt.end(); ++it) {
-          if (it->second > best->second ||
-              (it->second == best->second && it->first < best->first)) {
-            best = it;
+        const std::vector<size_t>& cnt = counts[c][a];
+        // Most-frequent code; ties break on the decoded string, matching
+        // the string path's lexicographic tie-break exactly.
+        uint32_t best_code = ProfileCodec::kMissingCode;
+        size_t best_count = 0;
+        for (uint32_t code = 1; code < cnt.size(); ++code) {
+          size_t n = cnt[code];
+          if (n == 0) continue;
+          if (n > best_count ||
+              (n == best_count &&
+               codec.Value(a, code) < codec.Value(a, best_code))) {
+            best_code = code;
+            best_count = n;
           }
         }
-        modes[c][a] = best->first;
+        if (best_count == 0) continue;  // keep previous mode value
+        modes[c][a] = best_code;
       }
     }
   }
 
   // Compact non-empty clusters to consecutive ids.
   std::vector<size_t> remap(k, SIZE_MAX);
-  result.assignments.resize(users.size());
-  for (size_t i = 0; i < users.size(); ++i) {
+  result.assignments.resize(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
     size_t c = assignment[i];
     if (remap[c] == SIZE_MAX) {
       remap[c] = result.clusters.size();
       result.clusters.emplace_back();
     }
     result.assignments[i] = remap[c];
-    result.clusters[remap[c]].push_back(users[i]);
+    result.clusters[remap[c]].push_back(enc.users()[i]);
   }
   return result;
 }

@@ -7,10 +7,12 @@
 #ifndef SIGHT_CLUSTERING_KMODES_H_
 #define SIGHT_CLUSTERING_KMODES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "clustering/squeezer.h"
 #include "graph/profile.h"
+#include "graph/profile_codec.h"
 #include "graph/types.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -26,19 +28,33 @@ struct KModesConfig {
 
 class KModes {
  public:
-  static Result<KModes> Create(const ProfileSchema& schema,
+  [[nodiscard]] static Result<KModes> Create(const ProfileSchema& schema,
                                KModesConfig config);
 
   /// Clusters `users`; k is capped at the number of users. Modes are
-  /// seeded from k distinct random users.
-  Result<Clustering> Cluster(const ProfileTable& table,
+  /// seeded from k distinct random users. Delegates to ClusterEncoded
+  /// through a dictionary-encoded view of the profiles, so the hot loops
+  /// run on integer codes; results are bitwise-identical to the string
+  /// algorithm (pinned by encoded_equivalence_test).
+  [[nodiscard]] Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users,
                              Rng* rng) const;
 
+  /// Hot path: clusters an already-encoded pool (e.g. the view the risk
+  /// pipeline built for the similarity matrix) without touching strings.
+  [[nodiscard]] Result<Clustering> ClusterEncoded(const EncodedProfileTable& enc,
+                                    Rng* rng) const;
+
   /// Weighted mismatch distance between a profile and a mode (both aligned
   /// with the schema). Missing values always count as a mismatch.
+  /// Reference metric; the clustering loops use the code overload.
   double Distance(const Profile& profile,
                   const std::vector<std::string>& mode) const;
+
+  /// Code-row overload: `row` has one code per schema attribute, `mode`
+  /// one code per attribute (ProfileCodec::kMissingCode = missing).
+  double Distance(const uint32_t* row,
+                  const std::vector<uint32_t>& mode) const;
 
  private:
   KModes(KModesConfig config, std::vector<double> weights)

@@ -23,7 +23,7 @@ Status CheckParallel(const std::vector<size_t>& a,
 
 Result<double> ClusterPurity(const std::vector<size_t>& assignments,
                              const std::vector<size_t>& truth) {
-  SIGHT_RETURN_NOT_OK(CheckParallel(assignments, truth));
+  SIGHT_RETURN_IF_ERROR(CheckParallel(assignments, truth));
   std::map<size_t, std::map<size_t, size_t>> cluster_class_counts;
   for (size_t i = 0; i < assignments.size(); ++i) {
     ++cluster_class_counts[assignments[i]][truth[i]];
@@ -43,7 +43,7 @@ Result<double> ClusterPurity(const std::vector<size_t>& assignments,
 Result<double> NormalizedMutualInformation(
     const std::vector<size_t>& assignments,
     const std::vector<size_t>& truth) {
-  SIGHT_RETURN_NOT_OK(CheckParallel(assignments, truth));
+  SIGHT_RETURN_IF_ERROR(CheckParallel(assignments, truth));
   const double n = static_cast<double>(assignments.size());
 
   std::map<size_t, size_t> count_c;

@@ -104,7 +104,7 @@ Result<Clustering> Squeezer::Cluster(const ProfileTable& table,
   config.weights = weights_;
   SIGHT_ASSIGN_OR_RETURN(IncrementalSqueezer incremental,
                          IncrementalSqueezer::Create(table.schema(), config));
-  SIGHT_RETURN_NOT_OK(incremental.AddBatch(table, users).status());
+  SIGHT_RETURN_IF_ERROR(incremental.AddBatch(table, users).status());
   return incremental.clustering();
 }
 

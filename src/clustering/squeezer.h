@@ -107,7 +107,7 @@ struct SqueezerConfig {
 /// One-pass categorical clusterer.
 class Squeezer {
  public:
-  static Result<Squeezer> Create(const ProfileSchema& schema,
+  [[nodiscard]] static Result<Squeezer> Create(const ProfileSchema& schema,
                                  SqueezerConfig config);
 
   /// Definition 2 similarity of `profile` to the cluster summarized by
@@ -121,7 +121,7 @@ class Squeezer {
                     const ClusterSummary& summary) const;
 
   /// Clusters `users` (profiles from `table`) in the given order.
-  Result<Clustering> Cluster(const ProfileTable& table,
+  [[nodiscard]] Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users) const;
 
   double threshold() const { return threshold_; }
@@ -145,15 +145,15 @@ class Squeezer {
 /// the data; codes once assigned never change, so summaries stay valid.
 class IncrementalSqueezer {
  public:
-  static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
+  [[nodiscard]] static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
                                             SqueezerConfig config);
 
   /// Assigns `user` (profile from `table`) to the best cluster, creating
   /// a new one below the threshold; returns the cluster index.
-  Result<size_t> Add(const ProfileTable& table, UserId user);
+  [[nodiscard]] Result<size_t> Add(const ProfileTable& table, UserId user);
 
   /// Adds users in order; returns their cluster indices.
-  Result<std::vector<size_t>> AddBatch(const ProfileTable& table,
+  [[nodiscard]] Result<std::vector<size_t>> AddBatch(const ProfileTable& table,
                                        const std::vector<UserId>& users);
 
   /// Assignments/membership of everything added so far.

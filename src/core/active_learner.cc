@@ -37,7 +37,7 @@ Result<PoolLearner> PoolLearner::Create(
     std::vector<double> display_benefit, const ActiveLearnerConfig& config,
     const GraphClassifier* classifier, const Sampler* sampler,
     const KnownLabels* known_labels) {
-  SIGHT_RETURN_NOT_OK(config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.Validate());
   if (pool.members.empty()) {
     return Status::InvalidArgument("pool has no members");
   }
@@ -119,7 +119,7 @@ Result<RoundRecord> PoolLearner::RunRound(LabelOracle* oracle, Rng* rng) {
   // predictions yet; do that first so this round can validate against
   // them.
   if (!has_predictions_ && labeled_.size() > 0) {
-    SIGHT_RETURN_NOT_OK(Repredict());
+    SIGHT_RETURN_IF_ERROR(Repredict());
   }
 
   // 1. Sample unlabeled strangers.
@@ -176,7 +176,7 @@ Result<RoundRecord> PoolLearner::RunRound(LabelOracle* oracle, Rng* rng) {
   // 4. Retrain / repredict.
   std::vector<double> previous = predictions_;
   bool had_predictions = has_predictions_;
-  SIGHT_RETURN_NOT_OK(Repredict());
+  SIGHT_RETURN_IF_ERROR(Repredict());
 
   // 5. Stabilization check (Definition 5) over still-unlabeled members.
   double tolerance = config_.StabilizationTolerance();
@@ -238,7 +238,7 @@ Result<ActiveLearner> ActiveLearner::Create(
     std::vector<double> display_benefits, ActiveLearnerConfig config,
     const GraphClassifier* classifier, const Sampler* sampler,
     const PoolLearner::KnownLabels* known_labels) {
-  SIGHT_RETURN_NOT_OK(config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.Validate());
   if (display_benefits.size() != pools.strangers.size()) {
     return Status::InvalidArgument(
         "display_benefits must be parallel to the pool set's strangers");

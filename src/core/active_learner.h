@@ -76,7 +76,7 @@ struct ActiveLearnerConfig {
   /// (including none).
   ThreadPool* thread_pool = nullptr;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Definition 5 tolerance derived from `confidence`.
   double StabilizationTolerance() const {
@@ -124,7 +124,7 @@ class PoolLearner {
   /// `pool.members` and are surfaced to the oracle with each query.
   /// Members found in `known_labels` start out owner-labeled, so the
   /// oracle is never asked about them again.
-  static Result<PoolLearner> Create(const StrangerPool& pool,
+  [[nodiscard]] static Result<PoolLearner> Create(const StrangerPool& pool,
                                     SimilarityMatrix weights,
                                     std::vector<double> display_similarity,
                                     std::vector<double> display_benefit,
@@ -134,10 +134,10 @@ class PoolLearner {
                                     const KnownLabels* known_labels = nullptr);
 
   /// Runs one round; no-op error if already finished.
-  Result<RoundRecord> RunRound(LabelOracle* oracle, Rng* rng);
+  [[nodiscard]] Result<RoundRecord> RunRound(LabelOracle* oracle, Rng* rng);
 
   /// Runs rounds until the pool finishes; returns all round records.
-  Result<std::vector<RoundRecord>> RunToCompletion(LabelOracle* oracle,
+  [[nodiscard]] Result<std::vector<RoundRecord>> RunToCompletion(LabelOracle* oracle,
                                                    Rng* rng);
 
   bool finished() const { return finished_; }
@@ -170,7 +170,7 @@ class PoolLearner {
               const ActiveLearnerConfig& config,
               const GraphClassifier* classifier, const Sampler* sampler);
 
-  Status Repredict();
+  [[nodiscard]] Status Repredict();
 
   std::vector<UserId> members_;
   SimilarityMatrix weights_;
@@ -237,14 +237,14 @@ class ActiveLearner {
   /// `display_benefits` is parallel to `pools.strangers`.
   /// `classifier` and `sampler` must outlive the learner. Strangers found
   /// in `known_labels` (optional) start out labeled in their pools.
-  static Result<ActiveLearner> Create(
+  [[nodiscard]] static Result<ActiveLearner> Create(
       const PoolSet& pools, const ProfileTable& profiles,
       std::vector<double> display_benefits, ActiveLearnerConfig config,
       const GraphClassifier* classifier, const Sampler* sampler,
       const PoolLearner::KnownLabels* known_labels = nullptr);
 
   /// Runs every pool to completion.
-  Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);
+  [[nodiscard]] Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);
 
  private:
   ActiveLearner() = default;

@@ -42,7 +42,7 @@ std::vector<AttributeImportance> Normalize(
 Result<std::vector<AttributeImportance>> ProfileAttributeImportance(
     const ProfileTable& profiles, const std::vector<UserId>& strangers,
     const std::vector<RiskLabel>& labels) {
-  SIGHT_RETURN_NOT_OK(CheckParallel(strangers.size(), labels.size()));
+  SIGHT_RETURN_IF_ERROR(CheckParallel(strangers.size(), labels.size()));
 
   std::vector<int> label_values;
   label_values.reserve(labels.size());
@@ -67,7 +67,7 @@ Result<std::vector<AttributeImportance>> ProfileAttributeImportance(
 Result<std::vector<AttributeImportance>> BenefitItemImportance(
     const VisibilityTable& visibility, const std::vector<UserId>& strangers,
     const std::vector<RiskLabel>& labels) {
-  SIGHT_RETURN_NOT_OK(CheckParallel(strangers.size(), labels.size()));
+  SIGHT_RETURN_IF_ERROR(CheckParallel(strangers.size(), labels.size()));
 
   std::vector<int> label_values;
   label_values.reserve(labels.size());

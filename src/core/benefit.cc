@@ -35,7 +35,7 @@ Status ThetaWeights::Validate() const {
 }
 
 Result<BenefitModel> BenefitModel::Create(ThetaWeights theta) {
-  SIGHT_RETURN_NOT_OK(theta.Validate());
+  SIGHT_RETURN_IF_ERROR(theta.Validate());
   return BenefitModel(theta);
 }
 

@@ -38,13 +38,13 @@ struct ThetaWeights {
   }
 
   /// InvalidArgument when any weight is negative or all are zero.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Computes B(o, s) over a visibility table.
 class BenefitModel {
  public:
-  static Result<BenefitModel> Create(ThetaWeights theta);
+  [[nodiscard]] static Result<BenefitModel> Create(ThetaWeights theta);
 
   /// B(o, s) in [0, max theta]. With theta in [0,1] the result is in
   /// [0, 1]. The owner argument is implicit in the visibility table (which

@@ -19,7 +19,7 @@ class NetworkSimilarityGroups {
  public:
   /// Builds groups from parallel vectors of strangers and their NS values
   /// (each in [0, 1]).
-  static Result<NetworkSimilarityGroups> Build(
+  [[nodiscard]] static Result<NetworkSimilarityGroups> Build(
       size_t alpha, const std::vector<UserId>& strangers,
       const std::vector<double>& similarities);
 

@@ -29,7 +29,7 @@ Result<ThetaWeights> MineThetaWeights(const VisibilityTable& visibility,
   for (size_t i = 0; i < kNumProfileItems; ++i) {
     theta.values[i] = importances[i].importance;
   }
-  SIGHT_RETURN_NOT_OK(theta.Validate());
+  SIGHT_RETURN_IF_ERROR(theta.Validate());
   return theta;
 }
 

@@ -13,7 +13,7 @@ Result<PoolBuilder> PoolBuilder::Create(PoolBuilderConfig config) {
     return Status::InvalidArgument(
         StrFormat("beta %f not in [0, 1]", config.beta));
   }
-  SIGHT_RETURN_NOT_OK(config.ns_config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.ns_config.Validate());
   return PoolBuilder(std::move(config));
 }
 

@@ -8,8 +8,8 @@ RiskEngine::RiskEngine(RiskEngineConfig config)
     : config_(std::move(config)) {}
 
 Result<RiskEngine> RiskEngine::Create(RiskEngineConfig config) {
-  SIGHT_RETURN_NOT_OK(config.learner.Validate());
-  SIGHT_RETURN_NOT_OK(config.theta.Validate());
+  SIGHT_RETURN_IF_ERROR(config.learner.Validate());
+  SIGHT_RETURN_IF_ERROR(config.theta.Validate());
   RiskEngine engine(std::move(config));
 
   // The pool must exist before the classifiers so kHarmonicCmn can run

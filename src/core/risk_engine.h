@@ -86,7 +86,7 @@ struct RiskReport {
 class RiskEngine {
  public:
   /// Validates the configuration and instantiates classifier + sampler.
-  static Result<RiskEngine> Create(RiskEngineConfig config);
+  [[nodiscard]] static Result<RiskEngine> Create(RiskEngineConfig config);
 
   RiskEngine(RiskEngine&&) = default;
   RiskEngine& operator=(RiskEngine&&) = default;
@@ -94,7 +94,7 @@ class RiskEngine {
   /// Runs the full pipeline for `owner`. The oracle is queried
   /// labels_per_round strangers per pool per round until every pool meets
   /// the Section III-D stopping condition.
-  Result<RiskReport> AssessOwner(const SocialGraph& graph,
+  [[nodiscard]] Result<RiskReport> AssessOwner(const SocialGraph& graph,
                                  const ProfileTable& profiles,
                                  const VisibilityTable& visibility,
                                  UserId owner, LabelOracle* oracle,
@@ -104,7 +104,7 @@ class RiskEngine {
   /// Strangers in `known_labels` (optional) start out owner-labeled; the
   /// oracle is only queried for the rest. RiskSession manages that map
   /// automatically.
-  Result<RiskReport> AssessStrangers(
+  [[nodiscard]] Result<RiskReport> AssessStrangers(
       const SocialGraph& graph, const ProfileTable& profiles,
       const VisibilityTable& visibility, UserId owner,
       std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,

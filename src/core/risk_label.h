@@ -28,7 +28,7 @@ inline double RiskLabelValue(RiskLabel label) {
 }
 
 /// Clamped conversion from an integer in [1, 3].
-Result<RiskLabel> RiskLabelFromInt(int value);
+[[nodiscard]] Result<RiskLabel> RiskLabelFromInt(int value);
 
 /// "not risky" / "risky" / "very risky".
 const char* RiskLabelName(RiskLabel label);

@@ -81,7 +81,7 @@ Status RiskSession::ImportLabels(const PoolLearner::KnownLabels& labels) {
     }
     if (discovered_.count(stranger) == 0) to_discover.push_back(stranger);
   }
-  SIGHT_RETURN_NOT_OK(AddStrangers(to_discover));
+  SIGHT_RETURN_IF_ERROR(AddStrangers(to_discover));
   for (const auto& [stranger, value] : labels) {
     known_labels_[stranger] = value;
   }

@@ -41,7 +41,7 @@ class RiskSession {
   /// The graph/profile/visibility tables must outlive the session and may
   /// grow between assessments (new users/edges are fine; the session only
   /// reads them during Assess).
-  static Result<RiskSession> Create(RiskEngineConfig config,
+  [[nodiscard]] static Result<RiskSession> Create(RiskEngineConfig config,
                                     const SocialGraph* graph,
                                     const ProfileTable* profiles,
                                     const VisibilityTable* visibility,
@@ -52,15 +52,15 @@ class RiskSession {
 
   /// Registers newly discovered strangers (duplicates are ignored).
   /// Errors on unknown user ids or on the owner itself.
-  Status AddStrangers(const std::vector<UserId>& discovered);
+  [[nodiscard]] Status AddStrangers(const std::vector<UserId>& discovered);
 
   /// Convenience: discover the owner's current full two-hop set.
-  Status DiscoverAllStrangers();
+  [[nodiscard]] Status DiscoverAllStrangers();
 
   /// Runs the active-learning pipeline over everything discovered so far,
   /// reusing every previously collected owner label. The report's
   /// total_queries counts only *new* oracle questions.
-  Result<RiskReport> Assess(LabelOracle* oracle, Rng* rng);
+  [[nodiscard]] Result<RiskReport> Assess(LabelOracle* oracle, Rng* rng);
 
   size_t num_strangers() const { return strangers_.size(); }
   size_t num_known_labels() const { return known_labels_.size(); }
@@ -74,7 +74,7 @@ class RiskSession {
   /// io/labels_io.h). Labeled strangers not yet discovered are also added
   /// to the stranger set. Errors on out-of-range label values or unknown
   /// users; on error nothing is imported.
-  Status ImportLabels(const PoolLearner::KnownLabels& labels);
+  [[nodiscard]] Status ImportLabels(const PoolLearner::KnownLabels& labels);
 
  private:
   RiskSession(RiskEngine engine, const SocialGraph* graph,

@@ -30,14 +30,14 @@ class ProfileSchema {
 
   /// Creates a schema from attribute names; names must be unique and
   /// non-empty.
-  static Result<ProfileSchema> Create(std::vector<std::string> names);
+  [[nodiscard]] static Result<ProfileSchema> Create(std::vector<std::string> names);
 
   size_t num_attributes() const { return names_.size(); }
   const std::string& name(AttributeId id) const { return names_[id]; }
   const std::vector<std::string>& names() const { return names_; }
 
   /// NotFound when no attribute has this name.
-  Result<AttributeId> FindAttribute(const std::string& name) const;
+  [[nodiscard]] Result<AttributeId> FindAttribute(const std::string& name) const;
 
  private:
   std::vector<std::string> names_;
@@ -66,11 +66,11 @@ class ProfileTable {
 
   /// Stores a profile for `user`. The value vector must match the schema
   /// arity.
-  Status Set(UserId user, Profile profile);
+  [[nodiscard]] Status Set(UserId user, Profile profile);
 
   /// Convenience: set a single attribute value, creating an all-missing
   /// profile on first touch.
-  Status SetValue(UserId user, AttributeId attr, std::string value);
+  [[nodiscard]] Status SetValue(UserId user, AttributeId attr, std::string value);
 
   bool Has(UserId user) const;
 

@@ -37,14 +37,14 @@ class SocialGraph {
   ///
   /// Errors: InvalidArgument for self-loops or unknown ids; AlreadyExists
   /// if the edge is present.
-  Status AddEdge(UserId a, UserId b);
+  [[nodiscard]] Status AddEdge(UserId a, UserId b);
 
   /// Adds the edge if absent; returns true when a new edge was inserted.
   /// Errors only on invalid ids / self-loops.
-  Result<bool> AddEdgeIfAbsent(UserId a, UserId b);
+  [[nodiscard]] Result<bool> AddEdgeIfAbsent(UserId a, UserId b);
 
   /// Removes the undirected edge {a, b}; NotFound if absent.
-  Status RemoveEdge(UserId a, UserId b);
+  [[nodiscard]] Status RemoveEdge(UserId a, UserId b);
 
   bool HasUser(UserId u) const { return u < adjacency_.size(); }
 

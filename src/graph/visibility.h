@@ -43,7 +43,7 @@ constexpr std::array<ProfileItem, kNumProfileItems> kAllProfileItems = {
 const char* ProfileItemName(ProfileItem item);
 
 /// Inverse of ProfileItemName; NotFound for unknown names.
-Result<ProfileItem> ProfileItemFromName(const std::string& name);
+[[nodiscard]] Result<ProfileItem> ProfileItemFromName(const std::string& name);
 
 /// Per-user visibility bitmasks over the seven profile items.
 class VisibilityTable {

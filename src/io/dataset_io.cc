@@ -21,11 +21,11 @@ Status SaveOwnerDataset(const sim::OwnerDataset& dataset,
         StrFormat("cannot create '%s': %s", dir.c_str(),
                   ec.message().c_str()));
   }
-  SIGHT_RETURN_NOT_OK(
+  SIGHT_RETURN_IF_ERROR(
       SaveGraphToFile(dataset.graph, (fs::path(dir) / "graph.txt").string()));
-  SIGHT_RETURN_NOT_OK(SaveProfilesToFile(
+  SIGHT_RETURN_IF_ERROR(SaveProfilesToFile(
       dataset.profiles, (fs::path(dir) / "profiles.csv").string()));
-  SIGHT_RETURN_NOT_OK(SaveVisibilityToFile(
+  SIGHT_RETURN_IF_ERROR(SaveVisibilityToFile(
       dataset.visibility, static_cast<UserId>(dataset.graph.NumUsers()),
       (fs::path(dir) / "visibility.csv").string()));
 

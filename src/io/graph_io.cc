@@ -72,7 +72,7 @@ Result<SocialGraph> LoadGraph(std::istream* in) {
           static_cast<unsigned long long>(a),
           static_cast<unsigned long long>(b), num_users));
     }
-    SIGHT_RETURN_NOT_OK(
+    SIGHT_RETURN_IF_ERROR(
         graph.AddEdge(static_cast<UserId>(a), static_cast<UserId>(b)));
     ++edges_read;
   }

@@ -21,13 +21,13 @@
 
 namespace sight::io {
 
-Status SaveGraph(const SocialGraph& graph, std::ostream* out);
+[[nodiscard]] Status SaveGraph(const SocialGraph& graph, std::ostream* out);
 
-Result<SocialGraph> LoadGraph(std::istream* in);
+[[nodiscard]] Result<SocialGraph> LoadGraph(std::istream* in);
 
 /// File-path conveniences.
-Status SaveGraphToFile(const SocialGraph& graph, const std::string& path);
-Result<SocialGraph> LoadGraphFromFile(const std::string& path);
+[[nodiscard]] Status SaveGraphToFile(const SocialGraph& graph, const std::string& path);
+[[nodiscard]] Result<SocialGraph> LoadGraphFromFile(const std::string& path);
 
 }  // namespace sight::io
 

@@ -32,7 +32,7 @@ Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in) {
   CsvReader reader(in);
   std::vector<std::string> record;
   if (!reader.Next(&record)) {
-    SIGHT_RETURN_NOT_OK(reader.status());
+    SIGHT_RETURN_IF_ERROR(reader.status());
     return Status::InvalidArgument("empty labels CSV");
   }
   if (record != std::vector<std::string>{"stranger", "label"}) {
@@ -63,7 +63,7 @@ Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in) {
     }
     labels[static_cast<UserId>(stranger)] = static_cast<double>(value);
   }
-  SIGHT_RETURN_NOT_OK(reader.status());
+  SIGHT_RETURN_IF_ERROR(reader.status());
   return labels;
 }
 

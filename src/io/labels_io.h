@@ -15,14 +15,14 @@
 
 namespace sight::io {
 
-Status SaveKnownLabels(const PoolLearner::KnownLabels& labels,
+[[nodiscard]] Status SaveKnownLabels(const PoolLearner::KnownLabels& labels,
                        std::ostream* out);
 
-Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in);
+[[nodiscard]] Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in);
 
-Status SaveKnownLabelsToFile(const PoolLearner::KnownLabels& labels,
+[[nodiscard]] Status SaveKnownLabelsToFile(const PoolLearner::KnownLabels& labels,
                              const std::string& path);
-Result<PoolLearner::KnownLabels> LoadKnownLabelsFromFile(
+[[nodiscard]] Result<PoolLearner::KnownLabels> LoadKnownLabelsFromFile(
     const std::string& path);
 
 }  // namespace sight::io

@@ -53,7 +53,7 @@ Result<ProfileTable> LoadProfiles(std::istream* in) {
   CsvReader reader(in);
   std::vector<std::string> record;
   if (!reader.Next(&record)) {
-    SIGHT_RETURN_NOT_OK(reader.status());
+    SIGHT_RETURN_IF_ERROR(reader.status());
     return Status::InvalidArgument("empty profile CSV");
   }
   if (record.empty() || record[0] != "user_id") {
@@ -75,9 +75,9 @@ Result<ProfileTable> LoadProfiles(std::istream* in) {
     SIGHT_ASSIGN_OR_RETURN(UserId user, ParseUserId(record[0]));
     Profile profile;
     profile.values.assign(record.begin() + 1, record.end());
-    SIGHT_RETURN_NOT_OK(table.Set(user, std::move(profile)));
+    SIGHT_RETURN_IF_ERROR(table.Set(user, std::move(profile)));
   }
-  SIGHT_RETURN_NOT_OK(reader.status());
+  SIGHT_RETURN_IF_ERROR(reader.status());
   return table;
 }
 

@@ -16,13 +16,13 @@
 
 namespace sight::io {
 
-Status SaveProfiles(const ProfileTable& profiles, std::ostream* out);
+[[nodiscard]] Status SaveProfiles(const ProfileTable& profiles, std::ostream* out);
 
-Result<ProfileTable> LoadProfiles(std::istream* in);
+[[nodiscard]] Result<ProfileTable> LoadProfiles(std::istream* in);
 
-Status SaveProfilesToFile(const ProfileTable& profiles,
+[[nodiscard]] Status SaveProfilesToFile(const ProfileTable& profiles,
                           const std::string& path);
-Result<ProfileTable> LoadProfilesFromFile(const std::string& path);
+[[nodiscard]] Result<ProfileTable> LoadProfilesFromFile(const std::string& path);
 
 }  // namespace sight::io
 

@@ -34,7 +34,7 @@ Result<VisibilityTable> LoadVisibility(std::istream* in) {
   CsvReader reader(in);
   std::vector<std::string> record;
   if (!reader.Next(&record)) {
-    SIGHT_RETURN_NOT_OK(reader.status());
+    SIGHT_RETURN_IF_ERROR(reader.status());
     return Status::InvalidArgument("empty visibility CSV");
   }
   if (record.size() != kNumProfileItems + 1 || record[0] != "user_id") {
@@ -73,7 +73,7 @@ Result<VisibilityTable> LoadVisibility(std::istream* in) {
                        cell == "1");
     }
   }
-  SIGHT_RETURN_NOT_OK(reader.status());
+  SIGHT_RETURN_IF_ERROR(reader.status());
   return table;
 }
 

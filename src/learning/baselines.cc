@@ -14,7 +14,7 @@ Result<KnnClassifier> KnnClassifier::Create(size_t k) {
 Result<std::vector<double>> KnnClassifier::Predict(
     const SimilarityMatrix& weights, const LabeledSet& labeled) const {
   size_t n = weights.size();
-  SIGHT_RETURN_NOT_OK(internal::ValidateLabeledSet(n, labeled));
+  SIGHT_RETURN_IF_ERROR(internal::ValidateLabeledSet(n, labeled));
 
   double label_mean =
       std::accumulate(labeled.values.begin(), labeled.values.end(), 0.0) /
@@ -53,7 +53,7 @@ Result<std::vector<double>> KnnClassifier::Predict(
 Result<std::vector<double>> MajorityClassifier::Predict(
     const SimilarityMatrix& weights, const LabeledSet& labeled) const {
   size_t n = weights.size();
-  SIGHT_RETURN_NOT_OK(internal::ValidateLabeledSet(n, labeled));
+  SIGHT_RETURN_IF_ERROR(internal::ValidateLabeledSet(n, labeled));
 
   std::map<double, size_t> counts;
   for (double v : labeled.values) ++counts[v];

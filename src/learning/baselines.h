@@ -17,9 +17,9 @@ namespace sight {
 /// to the label mean.
 class KnnClassifier : public GraphClassifier {
  public:
-  static Result<KnnClassifier> Create(size_t k);
+  [[nodiscard]] static Result<KnnClassifier> Create(size_t k);
 
-  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override { return "knn"; }
@@ -37,7 +37,7 @@ class MajorityClassifier : public GraphClassifier {
  public:
   MajorityClassifier() = default;
 
-  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override { return "majority"; }

@@ -39,7 +39,7 @@ class GraphClassifier {
   /// Returns one score per instance (size weights.size()). Labeled
   /// instances keep their given value in the output. Errors when the
   /// labeled set is empty or references out-of-range indices.
-  virtual Result<std::vector<double>> Predict(
+  [[nodiscard]] virtual Result<std::vector<double>> Predict(
       const SimilarityMatrix& weights, const LabeledSet& labeled) const = 0;
 
   /// Human-readable name for reports ("harmonic", "knn", ...).
@@ -49,7 +49,7 @@ class GraphClassifier {
 namespace internal {
 /// Shared validation: labeled set non-empty, indices in range, no
 /// duplicates.
-Status ValidateLabeledSet(size_t n, const LabeledSet& labeled);
+[[nodiscard]] Status ValidateLabeledSet(size_t n, const LabeledSet& labeled);
 }  // namespace internal
 
 /// Rounds a continuous score to the nearest integer label in

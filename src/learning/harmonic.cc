@@ -49,7 +49,7 @@ Result<HarmonicFunctionClassifier> HarmonicFunctionClassifier::Create(
 Result<std::vector<double>> HarmonicFunctionClassifier::Predict(
     const SimilarityMatrix& weights, const LabeledSet& labeled) const {
   size_t n = weights.size();
-  SIGHT_RETURN_NOT_OK(internal::ValidateLabeledSet(n, labeled));
+  SIGHT_RETURN_IF_ERROR(internal::ValidateLabeledSet(n, labeled));
 
   double label_mean =
       std::accumulate(labeled.values.begin(), labeled.values.end(), 0.0) /

@@ -46,7 +46,7 @@ double LabelEntropy(const std::vector<int>& labels) {
 Result<double> InformationGain(
     const std::vector<std::string>& attribute_values,
     const std::vector<int>& labels) {
-  SIGHT_RETURN_NOT_OK(CheckInput(attribute_values.size(), labels.size()));
+  SIGHT_RETURN_IF_ERROR(CheckInput(attribute_values.size(), labels.size()));
 
   double base = LabelEntropy(labels);
 

@@ -24,7 +24,7 @@ Result<std::vector<std::vector<double>>>
 MulticlassHarmonicClassifier::ClassScores(const SimilarityMatrix& weights,
                                           const LabeledSet& labeled) const {
   size_t n = weights.size();
-  SIGHT_RETURN_NOT_OK(internal::ValidateLabeledSet(n, labeled));
+  SIGHT_RETURN_IF_ERROR(internal::ValidateLabeledSet(n, labeled));
 
   size_t classes = num_classes();
   std::vector<size_t> class_of_label(labeled.size());

@@ -91,7 +91,7 @@ Status GeneratorConfig::Validate() const {
 }
 
 Result<FacebookGenerator> FacebookGenerator::Create(GeneratorConfig config) {
-  SIGHT_RETURN_NOT_OK(config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.Validate());
   return FacebookGenerator(config);
 }
 
@@ -104,7 +104,7 @@ Result<OwnerDataset> FacebookGenerator::Generate(const OwnerSpec& owner_spec,
 
   // Owner.
   ds.owner = ds.graph.AddUser();
-  SIGHT_RETURN_NOT_OK(ds.profiles.Set(
+  SIGHT_RETURN_IF_ERROR(ds.profiles.Set(
       ds.owner,
       MakeProfile(owner_spec.gender, owner_spec.locale, dists_, rng)));
   ds.visibility.SetMask(
@@ -135,10 +135,10 @@ Result<OwnerDataset> FacebookGenerator::Generate(const OwnerSpec& owner_spec,
                         ? community_locale[community]
                         : RandomLocale(rng);
     Gender gender = RandomGender(config_.male_fraction, rng);
-    SIGHT_RETURN_NOT_OK(
+    SIGHT_RETURN_IF_ERROR(
         ds.profiles.Set(f, MakeProfile(gender, locale, dists_, rng)));
     ds.visibility.SetMask(f, SampleVisibilityMask(gender, locale, rng));
-    SIGHT_RETURN_NOT_OK(ds.graph.AddEdge(ds.owner, f));
+    SIGHT_RETURN_IF_ERROR(ds.graph.AddEdge(ds.owner, f));
   }
 
   // Friend-friend edges: dense inside a community, sparse across.
@@ -148,7 +148,7 @@ Result<OwnerDataset> FacebookGenerator::Generate(const OwnerSpec& owner_spec,
                      ? config_.intra_community_edge_prob
                      : config_.inter_community_edge_prob;
       if (rng->Bernoulli(p)) {
-        SIGHT_RETURN_NOT_OK(
+        SIGHT_RETURN_IF_ERROR(
             ds.graph.AddEdge(ds.friends[i], ds.friends[j]));
       }
     }
@@ -170,14 +170,14 @@ Result<OwnerDataset> FacebookGenerator::Generate(const OwnerSpec& owner_spec,
     UserId stranger = ds.graph.AddUser();
     std::vector<size_t> picks = rng->SampleWithoutReplacement(members.size(), m);
     for (size_t p : picks) {
-      SIGHT_RETURN_NOT_OK(ds.graph.AddEdge(stranger, members[p]));
+      SIGHT_RETURN_IF_ERROR(ds.graph.AddEdge(stranger, members[p]));
     }
 
     Locale locale = rng->Bernoulli(config_.same_locale_stranger_prob)
                         ? community_locale[community]
                         : RandomLocale(rng);
     Gender gender = RandomGender(config_.male_fraction, rng);
-    SIGHT_RETURN_NOT_OK(
+    SIGHT_RETURN_IF_ERROR(
         ds.profiles.Set(stranger, MakeProfile(gender, locale, dists_, rng)));
     ds.visibility.SetMask(stranger,
                           SampleVisibilityMask(gender, locale, rng));

@@ -67,7 +67,7 @@ struct GeneratorConfig {
   /// more strangers with a single mutual friend).
   double mutual_zipf_exponent = 1.6;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// A generated ego network plus its side tables.
@@ -85,10 +85,10 @@ struct OwnerDataset {
 
 class FacebookGenerator {
  public:
-  static Result<FacebookGenerator> Create(GeneratorConfig config);
+  [[nodiscard]] static Result<FacebookGenerator> Create(GeneratorConfig config);
 
   /// Generates a dataset for one owner. Deterministic given the Rng state.
-  Result<OwnerDataset> Generate(const OwnerSpec& owner_spec, Rng* rng) const;
+  [[nodiscard]] Result<OwnerDataset> Generate(const OwnerSpec& owner_spec, Rng* rng) const;
 
   const GeneratorConfig& config() const { return config_; }
 

@@ -99,7 +99,7 @@ Result<OwnerModel> OwnerModel::Create(OwnerAttitude attitude,
   if (attitude.label_noise < 0.0 || attitude.label_noise > 1.0) {
     return Status::InvalidArgument("label_noise must be in [0, 1]");
   }
-  SIGHT_RETURN_NOT_OK(attitude.theta.Validate());
+  SIGHT_RETURN_IF_ERROR(attitude.theta.Validate());
   // Attitudes built by hand (zero-initialized emphasis) fall back to the
   // paper's Table II averages.
   double emphasis_sum = 0.0;

@@ -42,7 +42,7 @@ constexpr std::array<Locale, kNumLocales> kAllLocales = {
 const char* LocaleCode(Locale locale);
 
 /// Inverse of LocaleCode; NotFound for unknown codes.
-Result<Locale> LocaleFromCode(const std::string& code);
+[[nodiscard]] Result<Locale> LocaleFromCode(const std::string& code);
 
 enum class Gender : uint8_t { kMale = 0, kFemale = 1 };
 

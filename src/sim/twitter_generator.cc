@@ -67,7 +67,7 @@ Status TwitterGeneratorConfig::Validate() const {
 
 Result<TwitterGenerator> TwitterGenerator::Create(
     TwitterGeneratorConfig config) {
-  SIGHT_RETURN_NOT_OK(config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.Validate());
   return TwitterGenerator(config);
 }
 
@@ -81,7 +81,7 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
 
   // Owner.
   ds.owner = ds.graph.AddUser();
-  SIGHT_RETURN_NOT_OK(ds.profiles.Set(
+  SIGHT_RETURN_IF_ERROR(ds.profiles.Set(
       ds.owner, MakeTwitterProfile(false, owner_language, rng)));
   ds.visibility.SetMask(ds.owner, SampleTwitterVisibility(false, rng));
 
@@ -97,10 +97,10 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
     std::string language = rng->Bernoulli(config_.same_language_prob)
                                ? owner_language
                                : kLanguages[rng->UniformInt(0, 5)];
-    SIGHT_RETURN_NOT_OK(
+    SIGHT_RETURN_IF_ERROR(
         ds.profiles.Set(f, MakeTwitterProfile(verified, language, rng)));
     ds.visibility.SetMask(f, SampleTwitterVisibility(verified, rng));
-    SIGHT_RETURN_NOT_OK(ds.graph.AddEdge(ds.owner, f));
+    SIGHT_RETURN_IF_ERROR(ds.graph.AddEdge(ds.owner, f));
   }
 
   // Non-hub followed accounts occasionally follow each other; everyone
@@ -109,13 +109,13 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
   for (size_t i = config_.num_celebrities; i < ds.friends.size(); ++i) {
     for (UserId hub : celebrities) {
       if (rng->Bernoulli(0.5)) {
-        SIGHT_RETURN_NOT_OK(
+        SIGHT_RETURN_IF_ERROR(
             ds.graph.AddEdgeIfAbsent(ds.friends[i], hub).status());
       }
     }
     for (size_t j = i + 1; j < ds.friends.size(); ++j) {
       if (rng->Bernoulli(0.01)) {
-        SIGHT_RETURN_NOT_OK(
+        SIGHT_RETURN_IF_ERROR(
             ds.graph.AddEdgeIfAbsent(ds.friends[i], ds.friends[j]).status());
       }
     }
@@ -130,7 +130,7 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
     while (links == 0) {
       for (UserId hub : celebrities) {
         if (rng->Bernoulli(config_.celebrity_follow_prob)) {
-          SIGHT_RETURN_NOT_OK(
+          SIGHT_RETURN_IF_ERROR(
               ds.graph.AddEdgeIfAbsent(stranger, hub).status());
           ++links;
         }
@@ -138,7 +138,7 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
       if (rng->Bernoulli(0.25)) {
         size_t pick = static_cast<size_t>(rng->UniformInt(
             0, static_cast<int64_t>(ds.friends.size()) - 1));
-        SIGHT_RETURN_NOT_OK(
+        SIGHT_RETURN_IF_ERROR(
             ds.graph.AddEdgeIfAbsent(stranger, ds.friends[pick]).status());
         ++links;
       }
@@ -147,7 +147,7 @@ Result<OwnerDataset> TwitterGenerator::Generate(Rng* rng) const {
     // Heterophily: strangers' languages are drawn globally, not from the
     // owner's.
     std::string language = kLanguages[rng->UniformInt(0, 5)];
-    SIGHT_RETURN_NOT_OK(ds.profiles.Set(
+    SIGHT_RETURN_IF_ERROR(ds.profiles.Set(
         stranger, MakeTwitterProfile(verified, language, rng)));
     ds.visibility.SetMask(stranger,
                           SampleTwitterVisibility(verified, rng));

@@ -48,7 +48,7 @@ struct TwitterGeneratorConfig {
   double same_language_prob = 0.5;
   double verified_fraction = 0.08;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Generates an OwnerDataset whose profiles use TwitterSchema(). The
@@ -56,9 +56,9 @@ struct TwitterGeneratorConfig {
 /// accounts mutually followed by those.
 class TwitterGenerator {
  public:
-  static Result<TwitterGenerator> Create(TwitterGeneratorConfig config);
+  [[nodiscard]] static Result<TwitterGenerator> Create(TwitterGeneratorConfig config);
 
-  Result<OwnerDataset> Generate(Rng* rng) const;
+  [[nodiscard]] Result<OwnerDataset> Generate(Rng* rng) const;
 
   const TwitterGeneratorConfig& config() const { return config_; }
 

@@ -20,7 +20,7 @@ Status NetworkSimilarityConfig::Validate() const {
 
 Result<NetworkSimilarity> NetworkSimilarity::Create(
     NetworkSimilarityConfig config) {
-  SIGHT_RETURN_NOT_OK(config.Validate());
+  SIGHT_RETURN_IF_ERROR(config.Validate());
   return NetworkSimilarity(config);
 }
 

@@ -44,13 +44,13 @@ struct NetworkSimilarityConfig {
   double saturation = 8.0;
 
   /// InvalidArgument unless mutual_weight in [0,1] and saturation > 0.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Computes NS over a fixed graph.
 class NetworkSimilarity {
  public:
-  static Result<NetworkSimilarity> Create(NetworkSimilarityConfig config);
+  [[nodiscard]] static Result<NetworkSimilarity> Create(NetworkSimilarityConfig config);
 
   /// NS(o, s) in [0, 1]. Returns 0 for unknown users (no mutual friends).
   double Compute(const SocialGraph& graph, UserId owner,

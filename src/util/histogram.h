@@ -21,7 +21,7 @@ namespace sight {
 /// underflow/overflow and excluded from bin counts.
 class Histogram {
  public:
-  static Result<Histogram> Create(size_t num_bins, double lo, double hi);
+  [[nodiscard]] static Result<Histogram> Create(size_t num_bins, double lo, double hi);
 
   void Add(double value);
   void AddAll(const std::vector<double>& values);
@@ -33,7 +33,7 @@ class Histogram {
   uint64_t total_in_range() const { return total_in_range_; }
 
   /// Index of the bin `value` falls into; error when out of range.
-  Result<size_t> BinIndex(double value) const;
+  [[nodiscard]] Result<size_t> BinIndex(double value) const;
 
   /// Inclusive-exclusive bounds of a bin (last bin inclusive of hi).
   double bin_lower(size_t bin) const;

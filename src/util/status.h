@@ -35,8 +35,11 @@ const char* StatusCodeToString(StatusCode code);
 /// A Status carries either success (OK) or an error code plus message.
 ///
 /// Statuses are cheap to copy in the OK case (no allocation) and are
-/// intended to be returned by value.
-class Status {
+/// intended to be returned by value. The class itself is [[nodiscard]]:
+/// silently dropping a returned Status is a compile warning (an error
+/// under SIGHT_WERROR). Use `status.IgnoreError()` for the rare call
+/// site where dropping is intentional.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -44,35 +47,54 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Merges `other` into this status, keeping the FIRST error seen:
+  /// if this status is OK it becomes `other`; if it already holds an
+  /// error, `other` is dropped. Lets loops accumulate a batch of
+  /// fallible steps and report the earliest failure:
+  ///
+  ///   Status st;
+  ///   for (const auto& row : rows) st.Update(ProcessRow(row));
+  ///   return st;
+  void Update(const Status& other) {
+    if (ok()) *this = other;
+  }
+  void Update(Status&& other) {
+    if (ok()) *this = std::move(other);
+  }
+
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// Status on the floor; grep-able, unlike a (void) cast.
+  void IgnoreError() const {}
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -90,9 +112,11 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Result<T> holds either a value of type T or an error Status.
 ///
 /// Accessing the value of an errored Result aborts the process (the same
-/// contract as arrow::Result); call ok() first.
+/// contract as arrow::Result); call ok() first. Like Status, the class is
+/// [[nodiscard]]: ignoring a returned Result discards both the value and
+/// the error, which is never intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in functions returning
   /// Result<T>.
@@ -106,26 +130,26 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Error status; OK if the result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     AbortIfError();
     return std::get<T>(repr_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     AbortIfError();
     return std::get<T>(repr_);
   }
   /// Moves the value out. Returns by value (not T&&) so that binding the
   /// result of `SomeCall().value()` in a range-for or reference never
   /// dangles after the temporary Result is destroyed.
-  T value() && {
+  [[nodiscard]] T value() && {
     AbortIfError();
     return std::move(std::get<T>(repr_));
   }
@@ -136,7 +160,7 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` if this result holds an error.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     if (ok()) return std::get<T>(repr_);
     return fallback;
   }
@@ -158,12 +182,15 @@ void Result<T>::AbortIfError() const {
 
 // Propagates an error status out of the current function.
 //
-//   SIGHT_RETURN_NOT_OK(DoSomething());
-#define SIGHT_RETURN_NOT_OK(expr)            \
+//   SIGHT_RETURN_IF_ERROR(DoSomething());
+#define SIGHT_RETURN_IF_ERROR(expr)          \
   do {                                       \
     ::sight::Status _st = (expr);            \
     if (!_st.ok()) return _st;               \
   } while (false)
+
+// Older spelling of SIGHT_RETURN_IF_ERROR, kept for existing call sites.
+#define SIGHT_RETURN_NOT_OK(expr) SIGHT_RETURN_IF_ERROR(expr)
 
 // Assigns the value of a Result expression to `lhs`, or propagates the
 // error.  `lhs` may include a declaration:

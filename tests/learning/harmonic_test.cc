@@ -166,8 +166,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(HarmonicSolver::kGaussSeidel,
                       HarmonicSolver::kConjugateGradient,
                       HarmonicSolver::kAuto),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& param_info) {
+      switch (param_info.param) {
         case HarmonicSolver::kGaussSeidel:
           return "GaussSeidel";
         case HarmonicSolver::kConjugateGradient:

@@ -127,7 +127,9 @@ TEST(SimilarityMatrixCompactTest, NeighborsRoundTripsAgainstGet) {
       EXPECT_GT(nb.weight, 0.0);
       EXPECT_NE(nb.index, i);
       // Rows are sorted by neighbor index.
-      if (prev != m.size()) EXPECT_GT(nb.index, prev);
+      if (prev != m.size()) {
+        EXPECT_GT(nb.index, prev);
+      }
       prev = nb.index;
       ++directed_entries;
     }

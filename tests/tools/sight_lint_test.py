@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Self-test for tools/sight_lint.py.
+
+Seeds a violation of every lint rule in a scratch src/ tree and asserts the
+linter reports exactly the expected rule, then checks the clean-idiom cases
+(ok()-guarded .value(), thread_pool allowlist) are NOT flagged. Finally it
+proves the compiler side of status discipline: a dropped [[nodiscard]]
+Status fails to compile under -Werror=unused-result against the real
+util/status.h, and the sanctioned escape hatch (IgnoreError) passes.
+
+Run directly or via ctest (registered as sight_lint_selftest).
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+LINT = REPO / "tools" / "sight_lint.py"
+
+PASSED = 0
+FAILED = []
+
+
+def run_lint(root):
+    return subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root)],
+        capture_output=True, text=True)
+
+
+def expect(name, cond, detail=""):
+    global PASSED
+    if cond:
+        PASSED += 1
+        print(f"  ok  {name}")
+    else:
+        FAILED.append(name)
+        print(f"FAIL  {name}  {detail}")
+
+
+def lint_case(name, rel_path, content, want_rule):
+    """Lints a one-file src/ tree; asserts `want_rule` fires (or, when
+    want_rule is None, that the tree is clean)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        f = pathlib.Path(tmp) / "src" / rel_path
+        f.parent.mkdir(parents=True)
+        f.write_text(content)
+        proc = run_lint(tmp)
+        if want_rule is None:
+            expect(name, proc.returncode == 0,
+                   f"expected clean, got:\n{proc.stdout}")
+        else:
+            expect(name,
+                   proc.returncode == 1 and f"[{want_rule}]" in proc.stdout,
+                   f"expected [{want_rule}], got rc={proc.returncode}:\n"
+                   f"{proc.stdout}")
+
+
+def main():
+    # --- seeded violations: one per rule ---------------------------------
+    lint_case("missing [[nodiscard]] on Status function", "core/foo.h",
+              "Status DoThing(int x);\n", "nodiscard-status")
+    lint_case("missing [[nodiscard]] on Result function", "core/foo.h",
+              "static Result<double> Compute(int x);\n", "nodiscard-status")
+    lint_case("raw throw", "core/foo.cc",
+              "void F() { throw 42; }\n", "no-exceptions")
+    lint_case("try/catch block", "core/foo.cc",
+              "void F() {\n  try {\n    G();\n  } catch (...) {\n  }\n}\n",
+              "no-exceptions")
+    lint_case("std::cout in library code", "core/foo.cc",
+              '#include <iostream>\nvoid F() { std::cout << "x"; }\n',
+              "no-raw-stdio")
+    lint_case("std::cerr in library code", "core/foo.cc",
+              '#include <iostream>\nvoid F() { std::cerr << "x"; }\n',
+              "no-raw-stdio")
+    lint_case("naked .value() without ok() check", "core/foo.cc",
+              "double F() {\n"
+              "  auto r = Compute(3);\n"
+              "  return r.value();\n"
+              "}\n", "checked-value")
+    lint_case("naked .value() on moved temporary", "core/foo.cc",
+              "double F() {\n"
+              "  auto r = Compute(3);\n"
+              "  return std::move(r).value();\n"
+              "}\n", "checked-value")
+    lint_case("std::thread outside thread_pool", "core/foo.cc",
+              "#include <thread>\n"
+              "void F() { std::thread t([] {}); t.join(); }\n",
+              "no-raw-thread")
+    lint_case("std::async outside thread_pool", "core/foo.cc",
+              "#include <future>\n"
+              "void F() { auto f = std::async([] {}); }\n",
+              "no-raw-thread")
+
+    # --- clean idioms must NOT be flagged --------------------------------
+    lint_case("[[nodiscard]] declaration is clean", "core/foo.h",
+              "[[nodiscard]] Status DoThing(int x);\n"
+              "[[nodiscard]] static Result<double> Compute(int x);\n", None)
+    lint_case("ok()-guarded .value() is clean", "core/foo.cc",
+              "double F() {\n"
+              "  auto r = Compute(3);\n"
+              "  if (!r.ok()) return 0.0;\n"
+              "  return r.value();\n"
+              "}\n", None)
+    lint_case("SIGHT_CHECK(ok()) then moved .value() is clean",
+              "core/foo.cc",
+              "Schema F() {\n"
+              "  auto schema = Schema::Create({});\n"
+              "  SIGHT_CHECK(schema.ok());\n"
+              "  return std::move(schema).value();\n"
+              "}\n", None)
+    lint_case("ok() check does not leak across functions", "core/foo.cc",
+              "double G() {\n"
+              "  auto a = Compute(1);\n"
+              "  if (!a.ok()) return 0.0;\n"
+              "  return a.value();\n"
+              "}\n"
+              "double F() {\n"
+              "  auto a = Compute(3);\n"
+              "  return a.value();\n"
+              "}\n", "checked-value")
+    lint_case("std::thread inside util/thread_pool is allowed",
+              "util/thread_pool.cc",
+              "#include <thread>\n"
+              "void Pool() { std::thread t([] {}); t.join(); }\n", None)
+    lint_case("comments and strings are ignored", "core/foo.cc",
+              "// try to throw std::cout at a std::thread\n"
+              'const char* k = "throw try std::cerr";\n', None)
+    lint_case("ProfileTable::value(attr) with args is not a Result access",
+              "core/foo.cc",
+              "std::string F(const Profile& p, AttributeId a) {\n"
+              "  return p.value(a);\n"
+              "}\n", None)
+
+    # --- the whole repo must be clean ------------------------------------
+    proc = run_lint(REPO)
+    expect("repository src/ is lint-clean", proc.returncode == 0,
+           proc.stdout)
+
+    # --- compiler side: dropped Status is a hard error -------------------
+    gxx = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if gxx:
+        def compiles(body):
+            with tempfile.TemporaryDirectory() as tmp:
+                cc = pathlib.Path(tmp) / "drop.cc"
+                cc.write_text(
+                    '#include "util/status.h"\n'
+                    "using sight::Status;\n"
+                    "Status Step() { return Status::OK(); }\n"
+                    f"void Run() {{ {body} }}\n")
+                return subprocess.run(
+                    [gxx, "-std=c++20", "-fsyntax-only", "-Wall",
+                     "-Werror=unused-result", "-I", str(REPO / "src"),
+                     str(cc)],
+                    capture_output=True, text=True).returncode == 0
+
+        expect("dropped Status fails to compile", not compiles("Step();"))
+        expect("checked Status compiles",
+               compiles("if (!Step().ok()) return;"))
+        expect("IgnoreError() escape hatch compiles",
+               compiles("Step().IgnoreError();"))
+    else:
+        print("  skip  compiler checks (no C++ compiler on PATH)")
+
+    print(f"\n{PASSED} passed, {len(FAILED)} failed")
+    return 1 if FAILED else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

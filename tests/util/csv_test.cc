@@ -107,6 +107,39 @@ TEST(CsvReaderTest, DataAfterClosingQuoteIsError) {
   EXPECT_FALSE(status.ok());
 }
 
+TEST(CsvReaderTest, TruncatedQuotedFieldIsInvalidArgument) {
+  // EOF in the middle of a quoted field — a file cut off mid-write.
+  std::istringstream in("user_id,name\n1,\"trunca");
+  CsvReader reader(&in);
+  std::vector<std::string> record;
+  ASSERT_TRUE(reader.Next(&record));  // header is fine
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(CsvReaderTest, DataAfterClosingQuoteIsInvalidArgument) {
+  std::istringstream in("\"ok\"junk,2\n");
+  CsvReader reader(&in);
+  std::vector<std::string> record;
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReaderTest, ErroredReaderStaysErrored) {
+  // After a malformed record the reader must refuse further reads and
+  // keep reporting the first error (no silent resync mid-file).
+  std::istringstream in("\"bad\nmore,rows\n");
+  CsvReader reader(&in);
+  std::vector<std::string> record;
+  EXPECT_FALSE(reader.Next(&record));
+  Status first = reader.status();
+  EXPECT_EQ(first.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_EQ(reader.status(), first);
+}
+
 TEST(CsvReaderTest, RoundTripWithWriter) {
   CsvWriter w({"name", "note"});
   w.AddRow({"O'Brien, Jr", "said \"hello\"\nthen left"});

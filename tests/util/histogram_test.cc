@@ -1,5 +1,7 @@
 #include "util/histogram.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace sight {
@@ -82,6 +84,39 @@ TEST(HistogramTest, MeanOfInRangeValues) {
   Histogram h = Histogram::Create(10, 0.0, 1.0).value();
   h.AddAll({0.2, 0.4, 5.0});  // 5.0 is overflow, excluded
   EXPECT_NEAR(h.Mean(), 0.3, 1e-12);
+}
+
+TEST(HistogramTest, CreateZeroBinsIsInvalidArgument) {
+  EXPECT_EQ(Histogram::Create(0, 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, CreateInvertedOrEmptyRangeIsInvalidArgument) {
+  // lo > hi.
+  EXPECT_EQ(Histogram::Create(4, 1.0, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  // lo == hi: zero-width bins cannot place any value.
+  EXPECT_EQ(Histogram::Create(4, 0.5, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, CreateNanBoundIsInvalidArgument) {
+  // !(lo < hi) also rejects NaN bounds.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Histogram::Create(4, nan, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Histogram::Create(4, 0.0, nan).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, BinIndexOutsideRangeIsOutOfRange) {
+  Histogram h = Histogram::Create(4, 0.0, 1.0).value();
+  EXPECT_EQ(h.BinIndex(-0.1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(h.BinIndex(1.1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(h.BinIndex(std::numeric_limits<double>::quiet_NaN())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "util/status.h"
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -85,16 +86,59 @@ TEST(ResultTest, ArrowOperatorOnValue) {
   EXPECT_EQ(r->size(), 3u);
 }
 
+TEST(StatusTest, UpdateKeepsFirstError) {
+  Status s;
+  s.Update(Status::OK());
+  EXPECT_TRUE(s.ok());
+  s.Update(Status::NotFound("first"));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "first");
+  // A later error must not overwrite the first one.
+  s.Update(Status::Internal("second"));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "first");
+  // Nor must a later OK clear it.
+  s.Update(Status::OK());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, UpdateAccumulatesOverLoop) {
+  std::vector<Status> steps = {Status::OK(), Status::OutOfRange("bin 7"),
+                               Status::OK(), Status::InvalidArgument("late")};
+  Status s;
+  for (const Status& step : steps) s.Update(step);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "bin 7");
+}
+
+TEST(StatusTest, IgnoreErrorDiscardsExplicitly) {
+  // The sanctioned way to drop a [[nodiscard]] Status; must compile
+  // without warnings and do nothing.
+  Status::Internal("dropped on purpose").IgnoreError();
+}
+
 Status FailingOperation() { return Status::OutOfRange("boom"); }
 
 Status UsesReturnNotOk() {
+  // Exercises the legacy alias; new code uses SIGHT_RETURN_IF_ERROR.
   SIGHT_RETURN_NOT_OK(FailingOperation());
   return Status::OK();
 }
 
-TEST(StatusMacroTest, ReturnNotOkPropagates) {
+TEST(StatusMacroTest, LegacyReturnNotOkAliasPropagates) {
   Status s = UsesReturnNotOk();
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+Status UsesReturnIfError(bool fail) {
+  SIGHT_RETURN_IF_ERROR(fail ? FailingOperation() : Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError(true).code(), StatusCode::kOutOfRange);
+  // On OK the macro must fall through to the rest of the function.
+  EXPECT_EQ(UsesReturnIfError(false).code(), StatusCode::kAlreadyExists);
 }
 
 Result<int> ProducesValue() { return 10; }

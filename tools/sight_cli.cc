@@ -237,15 +237,15 @@ Result<RiskReport> RunAssessment(const Args& args,
   if (!args.labels_in.empty()) {
     SIGHT_ASSIGN_OR_RETURN(PoolLearner::KnownLabels previous,
                            io::LoadKnownLabelsFromFile(args.labels_in));
-    SIGHT_RETURN_NOT_OK(session.ImportLabels(previous));
+    SIGHT_RETURN_IF_ERROR(session.ImportLabels(previous));
     std::printf("resumed %zu previously collected labels from %s\n",
                 previous.size(), args.labels_in.c_str());
   }
-  SIGHT_RETURN_NOT_OK(session.DiscoverAllStrangers());
+  SIGHT_RETURN_IF_ERROR(session.DiscoverAllStrangers());
   Rng rng(args.seed ^ 0xa55e55ULL);
   SIGHT_ASSIGN_OR_RETURN(RiskReport report, session.Assess(oracle, &rng));
   if (!args.owner_labels_out.empty()) {
-    SIGHT_RETURN_NOT_OK(io::SaveKnownLabelsToFile(session.known_labels(),
+    SIGHT_RETURN_IF_ERROR(io::SaveKnownLabelsToFile(session.known_labels(),
                                                   args.owner_labels_out));
     std::printf("owner answers saved to %s (%zu labels)\n",
                 args.owner_labels_out.c_str(),

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""sight-lint: repo-specific static checks that clang-tidy cannot express.
+
+Enforces the Sight library conventions documented in DESIGN.md §10:
+
+  nodiscard-status   Every function declared in src/**/*.h returning Status
+                     or Result<T> carries [[nodiscard]].
+  no-exceptions      No `throw` / `try` / `catch` in src/ — the library is
+                     exception-free; errors flow through Status/Result.
+  no-raw-stdio       No `std::cout` / `std::cerr` in src/ — diagnostics go
+                     through util/logging.h (SIGHT_CHECK / fprintf(stderr)),
+                     data output through an ostream* parameter.
+  checked-value      No naked `.value()` on a Result without an `ok()` check
+                     (or SIGHT_ASSIGN_OR_RETURN / value_or) naming the same
+                     receiver earlier in the enclosing scope.
+  no-raw-thread      No `std::thread` / `std::jthread` / `std::async` outside
+                     util/thread_pool — all parallelism goes through
+                     ThreadPool / ParallelFor so determinism and shutdown
+                     stay centralized.
+
+Usage:
+  tools/sight_lint.py                 # lint src/ under the repo root
+  tools/sight_lint.py --root DIR      # lint DIR/src (used by the self-test)
+  tools/sight_lint.py --list-rules
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files where a rule does not apply, relative to the src/ root.
+ALLOWLIST = {
+    "no-raw-thread": {"util/thread_pool.h", "util/thread_pool.cc"},
+    # util/logging.h is the sanctioned diagnostic sink; it owns the one
+    # permitted stderr write (via fprintf, but keep it exempt for clarity).
+    "no-raw-stdio": {"util/logging.h"},
+}
+
+# Function declarations returning Status or Result<T>. Mirrors the shape of
+# every declaration in the codebase: optional specifiers, the return type,
+# then the function name and an opening paren on the same line.
+DECL_RE = re.compile(
+    r"^(\s*)((?:(?:static|virtual|inline|friend|constexpr|explicit)\s+)*)"
+    r"((?:sight::)?(?:Status|Result<.+>))\s+([A-Za-z_]\w*)\s*\("
+)
+
+# `.value()` with no arguments — ProfileTable::value(attr) takes arguments
+# and never matches.
+VALUE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# Identifiers that can appear inside a receiver expression but never name
+# the Result object itself.
+RECEIVER_NOISE = {
+    "std", "move", "static_cast", "const_cast", "reinterpret_cast",
+    "size_t", "int", "auto", "get", "front", "back", "at",
+}
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literal contents, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; recover
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def check_nodiscard(rel, lines, violations):
+    """Rule nodiscard-status: applies to headers only (the attribute binds
+    to the first declaration; definitions in .cc inherit it)."""
+    if not rel.endswith(".h"):
+        return
+    for idx, line in enumerate(lines):
+        m = DECL_RE.match(line)
+        if not m:
+            continue
+        if "[[nodiscard]]" in line:
+            continue
+        # Attribute on its own line directly above also counts.
+        if idx > 0 and "[[nodiscard]]" in lines[idx - 1]:
+            continue
+        violations.append(Violation(
+            rel, idx + 1, "nodiscard-status",
+            f"function '{m.group(4)}' returns {m.group(3).split('<')[0]}"
+            " but is not [[nodiscard]]"))
+
+
+def check_exceptions(rel, lines, violations):
+    kw = re.compile(r"\b(throw|try|catch)\b")
+    for idx, line in enumerate(lines):
+        m = kw.search(line)
+        if m:
+            violations.append(Violation(
+                rel, idx + 1, "no-exceptions",
+                f"'{m.group(1)}' is forbidden in src/ — use Status/Result"
+                " (DESIGN.md: the library is exception-free)"))
+
+
+def check_stdio(rel, lines, violations):
+    if rel in ALLOWLIST["no-raw-stdio"]:
+        return
+    pat = re.compile(r"std\s*::\s*(cout|cerr)\b")
+    for idx, line in enumerate(lines):
+        m = pat.search(line)
+        if m:
+            violations.append(Violation(
+                rel, idx + 1, "no-raw-stdio",
+                f"std::{m.group(1)} in library code — route diagnostics"
+                " through util/logging.h or take an ostream* parameter"))
+
+
+def check_thread(rel, lines, violations):
+    if rel in ALLOWLIST["no-raw-thread"]:
+        return
+    pat = re.compile(r"std\s*::\s*(jthread|thread|async)\b")
+    for idx, line in enumerate(lines):
+        m = pat.search(line)
+        if m:
+            violations.append(Violation(
+                rel, idx + 1, "no-raw-thread",
+                f"std::{m.group(1)} outside util/thread_pool — use"
+                " ThreadPool / ParallelFor"))
+
+
+def receiver_identifiers(prefix):
+    """Identifiers naming the receiver of `.value()`, rightmost first.
+
+    For `std::move(*created[p])` returns [p, created]; for `schema` returns
+    [schema]. Noise like std/move/casts is dropped.
+    """
+    idents = [t for t in IDENT_RE.findall(prefix)
+              if t not in RECEIVER_NOISE]
+    return list(reversed(idents[-2:])) if idents else []
+
+
+def enclosing_scope_start(lines, idx):
+    """Walks upward to the most recent line that closes a top-level block
+    (`}` at column 0) — an approximation of the enclosing function start
+    that matches the repo's 2-space indentation style."""
+    for j in range(idx - 1, -1, -1):
+        if lines[j].startswith("}"):
+            return j
+    return 0
+
+
+def check_value(rel, lines, violations):
+    ok_token = re.compile(r"\b(ok\s*\(\s*\)|SIGHT_ASSIGN_OR_RETURN|value_or)")
+    for idx, line in enumerate(lines):
+        for m in VALUE_RE.finditer(line):
+            prefix = line[:m.start()]
+            idents = receiver_identifiers(prefix)
+            start = enclosing_scope_start(lines, idx)
+            scope = lines[start:idx + 1]
+            checked = False
+            for scope_line in scope:
+                if not ok_token.search(scope_line):
+                    continue
+                if not idents:
+                    checked = True  # temporary receiver; ok() on same line
+                    break
+                if any(re.search(rf"\b{re.escape(i)}\b", scope_line)
+                       for i in idents):
+                    checked = True
+                    break
+            if not checked:
+                name = idents[0] if idents else "<temporary>"
+                violations.append(Violation(
+                    rel, idx + 1, "checked-value",
+                    f"naked .value() on '{name}' with no ok() check in the"
+                    " enclosing scope — an errored Result aborts the"
+                    " process"))
+
+
+RULES = {
+    "nodiscard-status": check_nodiscard,
+    "no-exceptions": check_exceptions,
+    "no-raw-stdio": check_stdio,
+    "checked-value": check_value,
+    "no-raw-thread": check_thread,
+}
+
+
+def lint_file(path, src_root):
+    rel = str(path.relative_to(src_root))
+    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+    lines = text.splitlines()
+    violations = []
+    for check in RULES.values():
+        check(rel, lines, violations)
+    return violations
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root (lints <root>/src); default: cwd")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = pathlib.Path(args.root)
+    src_root = root / "src"
+    if args.paths:
+        files = [pathlib.Path(p) for p in args.paths]
+    else:
+        if not src_root.is_dir():
+            print(f"sight-lint: no src/ under {root}", file=sys.stderr)
+            return 2
+        files = sorted(p for p in src_root.rglob("*")
+                       if p.suffix in (".h", ".cc"))
+
+    all_violations = []
+    for f in files:
+        try:
+            rel_root = src_root if src_root in f.resolve().parents or \
+                f.is_relative_to(src_root) else f.parent
+        except ValueError:
+            rel_root = f.parent
+        all_violations.extend(lint_file(f, rel_root))
+
+    for v in all_violations:
+        print(v)
+    if all_violations:
+        print(f"sight-lint: {len(all_violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"sight-lint: {len(files)} files clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
