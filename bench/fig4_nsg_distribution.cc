@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   using namespace sight;
   bench::StudyConfig config = bench::ParseArgs(argc, argv);
 
-  std::printf("=== Figure 4: stranger count per network similarity group ===\n");
+  std::printf(
+      "=== Figure 4: stranger count per network similarity group ===\n");
   std::printf("owners=%zu strangers/owner=%zu alpha=%zu seed=%llu\n\n",
               config.num_owners, config.num_strangers, config.alpha,
               static_cast<unsigned long long>(config.seed));

@@ -28,7 +28,8 @@ struct KModesConfig {
 
 class KModes {
  public:
-  [[nodiscard]] static Result<KModes> Create(const ProfileSchema& schema,
+  [[nodiscard]]
+  static Result<KModes> Create(const ProfileSchema& schema,
                                KModesConfig config);
 
   /// Clusters `users`; k is capped at the number of users. Modes are
@@ -36,13 +37,15 @@ class KModes {
   /// through a dictionary-encoded view of the profiles, so the hot loops
   /// run on integer codes; results are bitwise-identical to the string
   /// algorithm (pinned by encoded_equivalence_test).
-  [[nodiscard]] Result<Clustering> Cluster(const ProfileTable& table,
+  [[nodiscard]]
+  Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users,
                              Rng* rng) const;
 
   /// Hot path: clusters an already-encoded pool (e.g. the view the risk
   /// pipeline built for the similarity matrix) without touching strings.
-  [[nodiscard]] Result<Clustering> ClusterEncoded(const EncodedProfileTable& enc,
+  [[nodiscard]]
+  Result<Clustering> ClusterEncoded(const EncodedProfileTable& enc,
                                     Rng* rng) const;
 
   /// Weighted mismatch distance between a profile and a mode (both aligned

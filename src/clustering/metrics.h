@@ -16,13 +16,15 @@ namespace sight {
 /// Purity: fraction of points whose cluster's majority ground-truth class
 /// matches their own. In (0, 1]; 1 = every cluster is class-pure.
 /// `assignments` and `truth` are parallel vectors of cluster / class ids.
-[[nodiscard]] Result<double> ClusterPurity(const std::vector<size_t>& assignments,
+[[nodiscard]]
+Result<double> ClusterPurity(const std::vector<size_t>& assignments,
                              const std::vector<size_t>& truth);
 
 /// Normalized mutual information between the clustering and the ground
 /// truth, NMI = 2 I(C;T) / (H(C) + H(T)), in [0, 1]. Returns 1 when both
 /// partitions are single-cluster (degenerate but identical).
-[[nodiscard]] Result<double> NormalizedMutualInformation(
+[[nodiscard]]
+Result<double> NormalizedMutualInformation(
     const std::vector<size_t>& assignments, const std::vector<size_t>& truth);
 
 }  // namespace sight

@@ -107,7 +107,8 @@ struct SqueezerConfig {
 /// One-pass categorical clusterer.
 class Squeezer {
  public:
-  [[nodiscard]] static Result<Squeezer> Create(const ProfileSchema& schema,
+  [[nodiscard]]
+  static Result<Squeezer> Create(const ProfileSchema& schema,
                                  SqueezerConfig config);
 
   /// Definition 2 similarity of `profile` to the cluster summarized by
@@ -121,7 +122,8 @@ class Squeezer {
                     const ClusterSummary& summary) const;
 
   /// Clusters `users` (profiles from `table`) in the given order.
-  [[nodiscard]] Result<Clustering> Cluster(const ProfileTable& table,
+  [[nodiscard]]
+  Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users) const;
 
   double threshold() const { return threshold_; }
@@ -145,7 +147,8 @@ class Squeezer {
 /// the data; codes once assigned never change, so summaries stay valid.
 class IncrementalSqueezer {
  public:
-  [[nodiscard]] static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
+  [[nodiscard]]
+  static Result<IncrementalSqueezer> Create(const ProfileSchema& schema,
                                             SqueezerConfig config);
 
   /// Assigns `user` (profile from `table`) to the best cluster, creating
@@ -153,7 +156,8 @@ class IncrementalSqueezer {
   [[nodiscard]] Result<size_t> Add(const ProfileTable& table, UserId user);
 
   /// Adds users in order; returns their cluster indices.
-  [[nodiscard]] Result<std::vector<size_t>> AddBatch(const ProfileTable& table,
+  [[nodiscard]]
+  Result<std::vector<size_t>> AddBatch(const ProfileTable& table,
                                        const std::vector<UserId>& users);
 
   /// Assignments/membership of everything added so far.

@@ -124,7 +124,8 @@ class PoolLearner {
   /// `pool.members` and are surfaced to the oracle with each query.
   /// Members found in `known_labels` start out owner-labeled, so the
   /// oracle is never asked about them again.
-  [[nodiscard]] static Result<PoolLearner> Create(const StrangerPool& pool,
+  [[nodiscard]]
+  static Result<PoolLearner> Create(const StrangerPool& pool,
                                     SimilarityMatrix weights,
                                     std::vector<double> display_similarity,
                                     std::vector<double> display_benefit,
@@ -137,7 +138,8 @@ class PoolLearner {
   [[nodiscard]] Result<RoundRecord> RunRound(LabelOracle* oracle, Rng* rng);
 
   /// Runs rounds until the pool finishes; returns all round records.
-  [[nodiscard]] Result<std::vector<RoundRecord>> RunToCompletion(LabelOracle* oracle,
+  [[nodiscard]]
+  Result<std::vector<RoundRecord>> RunToCompletion(LabelOracle* oracle,
                                                    Rng* rng);
 
   bool finished() const { return finished_; }
@@ -237,7 +239,8 @@ class ActiveLearner {
   /// `display_benefits` is parallel to `pools.strangers`.
   /// `classifier` and `sampler` must outlive the learner. Strangers found
   /// in `known_labels` (optional) start out labeled in their pools.
-  [[nodiscard]] static Result<ActiveLearner> Create(
+  [[nodiscard]]
+  static Result<ActiveLearner> Create(
       const PoolSet& pools, const ProfileTable& profiles,
       std::vector<double> display_benefits, ActiveLearnerConfig config,
       const GraphClassifier* classifier, const Sampler* sampler,

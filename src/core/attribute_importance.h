@@ -40,13 +40,15 @@ struct AttributeImportance {
 /// Definition 6 over profile attributes: IGR of each schema attribute's
 /// values w.r.t. the owner labels, normalized across attributes.
 /// `strangers` and `labels` are parallel; requires at least one instance.
-[[nodiscard]] Result<std::vector<AttributeImportance>> ProfileAttributeImportance(
+[[nodiscard]]
+Result<std::vector<AttributeImportance>> ProfileAttributeImportance(
     const ProfileTable& profiles, const std::vector<UserId>& strangers,
     const std::vector<RiskLabel>& labels);
 
 /// Definition 6 over benefit items: attribute values are the visibility
 /// bits ("0"/"1") of each of the seven items.
-[[nodiscard]] Result<std::vector<AttributeImportance>> BenefitItemImportance(
+[[nodiscard]]
+Result<std::vector<AttributeImportance>> BenefitItemImportance(
     const VisibilityTable& visibility, const std::vector<UserId>& strangers,
     const std::vector<RiskLabel>& labels);
 

@@ -39,7 +39,8 @@ struct FriendSuggestionConfig {
 
 /// Ranks candidate friends from an assessment, best first. Ties broken by
 /// stranger id for determinism. Errors on invalid config.
-[[nodiscard]] Result<std::vector<FriendSuggestion>> SuggestFriends(
+[[nodiscard]]
+Result<std::vector<FriendSuggestion>> SuggestFriends(
     const AssessmentResult& assessment,
     const FriendSuggestionConfig& config = {});
 

@@ -80,7 +80,8 @@ struct PrivacySuggestion {
 /// risky (all items share the audience, so the fraction is per-owner, and
 /// the recommendation applies to each visible item). Errors when the
 /// assessment is empty.
-[[nodiscard]] Result<std::vector<PrivacySuggestion>> SuggestPrivacySettings(
+[[nodiscard]]
+Result<std::vector<PrivacySuggestion>> SuggestPrivacySettings(
     const AssessmentResult& assessment, const VisibilityTable& visibility,
     UserId owner, double risky_fraction_threshold = 0.25);
 

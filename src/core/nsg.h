@@ -19,7 +19,8 @@ class NetworkSimilarityGroups {
  public:
   /// Builds groups from parallel vectors of strangers and their NS values
   /// (each in [0, 1]).
-  [[nodiscard]] static Result<NetworkSimilarityGroups> Build(
+  [[nodiscard]]
+  static Result<NetworkSimilarityGroups> Build(
       size_t alpha, const std::vector<UserId>& strangers,
       const std::vector<double>& similarities);
 

@@ -26,12 +26,14 @@ namespace sight {
 
 /// Suggested Squeezer attribute weights, aligned with the schema;
 /// normalized to sum 1.
-[[nodiscard]] Result<std::vector<double>> MineAttributeWeights(
+[[nodiscard]]
+Result<std::vector<double>> MineAttributeWeights(
     const ProfileTable& profiles, const std::vector<UserId>& strangers,
     const std::vector<RiskLabel>& labels);
 
 /// Suggested theta weights from mined benefit-item importance.
-[[nodiscard]] Result<ThetaWeights> MineThetaWeights(const VisibilityTable& visibility,
+[[nodiscard]]
+Result<ThetaWeights> MineThetaWeights(const VisibilityTable& visibility,
                                       const std::vector<UserId>& strangers,
                                       const std::vector<RiskLabel>& labels);
 

@@ -72,12 +72,14 @@ class PoolBuilder {
   /// Enumerates the owner's strangers, computes NS, groups them, and
   /// (for kNetworkAndProfile) clusters each group with Squeezer. Pools are
   /// disjoint and cover every stranger.
-  [[nodiscard]] Result<PoolSet> Build(const SocialGraph& graph, const ProfileTable& profiles,
+  [[nodiscard]]
+  Result<PoolSet> Build(const SocialGraph& graph, const ProfileTable& profiles,
                         UserId owner) const;
 
   /// Same, but over a caller-provided stranger set (used by the
   /// incremental crawler flow where discovery is partial).
-  [[nodiscard]] Result<PoolSet> BuildForStrangers(const SocialGraph& graph,
+  [[nodiscard]]
+  Result<PoolSet> BuildForStrangers(const SocialGraph& graph,
                                     const ProfileTable& profiles, UserId owner,
                                     std::vector<UserId> strangers) const;
 

@@ -39,7 +39,8 @@ struct PrivacyScoreModel {
 
 /// Estimates item sensitivities from a population (the naive Liu-Terzi
 /// model). Errors on an empty population.
-[[nodiscard]] Result<PrivacyScoreModel> FitPrivacyScoreModel(
+[[nodiscard]]
+Result<PrivacyScoreModel> FitPrivacyScoreModel(
     const VisibilityTable& visibility, const std::vector<UserId>& population);
 
 /// Scores every user in `users` under `model`, in order.

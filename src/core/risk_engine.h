@@ -94,7 +94,8 @@ class RiskEngine {
   /// Runs the full pipeline for `owner`. The oracle is queried
   /// labels_per_round strangers per pool per round until every pool meets
   /// the Section III-D stopping condition.
-  [[nodiscard]] Result<RiskReport> AssessOwner(const SocialGraph& graph,
+  [[nodiscard]]
+  Result<RiskReport> AssessOwner(const SocialGraph& graph,
                                  const ProfileTable& profiles,
                                  const VisibilityTable& visibility,
                                  UserId owner, LabelOracle* oracle,
@@ -104,7 +105,8 @@ class RiskEngine {
   /// Strangers in `known_labels` (optional) start out owner-labeled; the
   /// oracle is only queried for the rest. RiskSession manages that map
   /// automatically.
-  [[nodiscard]] Result<RiskReport> AssessStrangers(
+  [[nodiscard]]
+  Result<RiskReport> AssessStrangers(
       const SocialGraph& graph, const ProfileTable& profiles,
       const VisibilityTable& visibility, UserId owner,
       std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,

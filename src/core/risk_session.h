@@ -41,7 +41,8 @@ class RiskSession {
   /// The graph/profile/visibility tables must outlive the session and may
   /// grow between assessments (new users/edges are fine; the session only
   /// reads them during Assess).
-  [[nodiscard]] static Result<RiskSession> Create(RiskEngineConfig config,
+  [[nodiscard]]
+  static Result<RiskSession> Create(RiskEngineConfig config,
                                     const SocialGraph* graph,
                                     const ProfileTable* profiles,
                                     const VisibilityTable* visibility,

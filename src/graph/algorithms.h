@@ -37,11 +37,13 @@ double InducedDensity(const SocialGraph& graph,
 /// The paper's strangers of `owner`: every user at exactly distance 2
 /// (a friend of a friend that is neither the owner nor one of the owner's
 /// friends). Sorted ascending. Error for unknown owner.
-[[nodiscard]] Result<std::vector<UserId>> TwoHopStrangers(const SocialGraph& graph,
+[[nodiscard]]
+Result<std::vector<UserId>> TwoHopStrangers(const SocialGraph& graph,
                                             UserId owner);
 
 /// BFS hop distances from `source`; unreachable = SIZE_MAX.
-[[nodiscard]] Result<std::vector<size_t>> BfsDistances(const SocialGraph& graph,
+[[nodiscard]]
+Result<std::vector<size_t>> BfsDistances(const SocialGraph& graph,
                                          UserId source);
 
 /// Local clustering coefficient of `u` (0 for degree < 2).

@@ -30,14 +30,16 @@ class ProfileSchema {
 
   /// Creates a schema from attribute names; names must be unique and
   /// non-empty.
-  [[nodiscard]] static Result<ProfileSchema> Create(std::vector<std::string> names);
+  [[nodiscard]]
+  static Result<ProfileSchema> Create(std::vector<std::string> names);
 
   size_t num_attributes() const { return names_.size(); }
   const std::string& name(AttributeId id) const { return names_[id]; }
   const std::vector<std::string>& names() const { return names_; }
 
   /// NotFound when no attribute has this name.
-  [[nodiscard]] Result<AttributeId> FindAttribute(const std::string& name) const;
+  [[nodiscard]]
+  Result<AttributeId> FindAttribute(const std::string& name) const;
 
  private:
   std::vector<std::string> names_;
@@ -70,7 +72,8 @@ class ProfileTable {
 
   /// Convenience: set a single attribute value, creating an all-missing
   /// profile on first touch.
-  [[nodiscard]] Status SetValue(UserId user, AttributeId attr, std::string value);
+  [[nodiscard]]
+  Status SetValue(UserId user, AttributeId attr, std::string value);
 
   bool Has(UserId user) const;
 

@@ -72,7 +72,8 @@ class ProfileCodec {
   /// persisted tables): kInvalidArgument for an unknown attribute,
   /// kOutOfRange for a code the dictionary never assigned (including
   /// kUnknownValue).
-  [[nodiscard]] Result<std::string> Decode(AttributeId attr,
+  [[nodiscard]]
+  Result<std::string> Decode(AttributeId attr,
                                            uint32_t code) const;
 
   /// Encodes one profile into `out` (num_attributes() entries), interning

@@ -20,11 +20,13 @@
 namespace sight::io {
 
 /// Creates `dir` if needed and writes the four files.
-[[nodiscard]] Status SaveOwnerDataset(const sim::OwnerDataset& dataset,
+[[nodiscard]]
+Status SaveOwnerDataset(const sim::OwnerDataset& dataset,
                         const std::string& dir);
 
 /// Loads a dataset; friends/strangers are recomputed from the graph.
-[[nodiscard]] Result<sim::OwnerDataset> LoadOwnerDataset(const std::string& dir);
+[[nodiscard]]
+Result<sim::OwnerDataset> LoadOwnerDataset(const std::string& dir);
 
 }  // namespace sight::io
 

@@ -26,7 +26,8 @@ namespace sight::io {
 [[nodiscard]] Result<SocialGraph> LoadGraph(std::istream* in);
 
 /// File-path conveniences.
-[[nodiscard]] Status SaveGraphToFile(const SocialGraph& graph, const std::string& path);
+[[nodiscard]]
+Status SaveGraphToFile(const SocialGraph& graph, const std::string& path);
 [[nodiscard]] Result<SocialGraph> LoadGraphFromFile(const std::string& path);
 
 }  // namespace sight::io

@@ -15,14 +15,18 @@
 
 namespace sight::io {
 
-[[nodiscard]] Status SaveKnownLabels(const PoolLearner::KnownLabels& labels,
+[[nodiscard]]
+Status SaveKnownLabels(const PoolLearner::KnownLabels& labels,
                        std::ostream* out);
 
-[[nodiscard]] Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in);
+[[nodiscard]]
+Result<PoolLearner::KnownLabels> LoadKnownLabels(std::istream* in);
 
-[[nodiscard]] Status SaveKnownLabelsToFile(const PoolLearner::KnownLabels& labels,
+[[nodiscard]]
+Status SaveKnownLabelsToFile(const PoolLearner::KnownLabels& labels,
                              const std::string& path);
-[[nodiscard]] Result<PoolLearner::KnownLabels> LoadKnownLabelsFromFile(
+[[nodiscard]]
+Result<PoolLearner::KnownLabels> LoadKnownLabelsFromFile(
     const std::string& path);
 
 }  // namespace sight::io

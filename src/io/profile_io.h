@@ -16,13 +16,16 @@
 
 namespace sight::io {
 
-[[nodiscard]] Status SaveProfiles(const ProfileTable& profiles, std::ostream* out);
+[[nodiscard]]
+Status SaveProfiles(const ProfileTable& profiles, std::ostream* out);
 
 [[nodiscard]] Result<ProfileTable> LoadProfiles(std::istream* in);
 
-[[nodiscard]] Status SaveProfilesToFile(const ProfileTable& profiles,
+[[nodiscard]]
+Status SaveProfilesToFile(const ProfileTable& profiles,
                           const std::string& path);
-[[nodiscard]] Result<ProfileTable> LoadProfilesFromFile(const std::string& path);
+[[nodiscard]]
+Result<ProfileTable> LoadProfilesFromFile(const std::string& path);
 
 }  // namespace sight::io
 

@@ -18,14 +18,17 @@
 namespace sight::io {
 
 /// `user_id_bound` limits the save scan (use graph.NumUsers()).
-[[nodiscard]] Status SaveVisibility(const VisibilityTable& visibility, UserId user_id_bound,
+[[nodiscard]]
+Status SaveVisibility(const VisibilityTable& visibility, UserId user_id_bound,
                       std::ostream* out);
 
 [[nodiscard]] Result<VisibilityTable> LoadVisibility(std::istream* in);
 
-[[nodiscard]] Status SaveVisibilityToFile(const VisibilityTable& visibility,
+[[nodiscard]]
+Status SaveVisibilityToFile(const VisibilityTable& visibility,
                             UserId user_id_bound, const std::string& path);
-[[nodiscard]] Result<VisibilityTable> LoadVisibilityFromFile(const std::string& path);
+[[nodiscard]]
+Result<VisibilityTable> LoadVisibilityFromFile(const std::string& path);
 
 }  // namespace sight::io
 

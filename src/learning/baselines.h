@@ -19,7 +19,8 @@ class KnnClassifier : public GraphClassifier {
  public:
   [[nodiscard]] static Result<KnnClassifier> Create(size_t k);
 
-  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]]
+  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override { return "knn"; }
@@ -37,7 +38,8 @@ class MajorityClassifier : public GraphClassifier {
  public:
   MajorityClassifier() = default;
 
-  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]]
+  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override { return "majority"; }

@@ -39,7 +39,8 @@ class GraphClassifier {
   /// Returns one score per instance (size weights.size()). Labeled
   /// instances keep their given value in the output. Errors when the
   /// labeled set is empty or references out-of-range indices.
-  [[nodiscard]] virtual Result<std::vector<double>> Predict(
+  [[nodiscard]]
+  virtual Result<std::vector<double>> Predict(
       const SimilarityMatrix& weights, const LabeledSet& labeled) const = 0;
 
   /// Human-readable name for reports ("harmonic", "knn", ...).

@@ -53,9 +53,11 @@ struct HarmonicConfig {
 
 class HarmonicFunctionClassifier : public GraphClassifier {
  public:
-  [[nodiscard]] static Result<HarmonicFunctionClassifier> Create(HarmonicConfig config);
+  [[nodiscard]]
+  static Result<HarmonicFunctionClassifier> Create(HarmonicConfig config);
 
-  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]]
+  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override { return "harmonic"; }

@@ -87,7 +87,8 @@ Result<double> SplitInformation(
 
 Result<double> GainRatio(const std::vector<std::string>& attribute_values,
                          const std::vector<int>& labels) {
-  SIGHT_ASSIGN_OR_RETURN(double gain, InformationGain(attribute_values, labels));
+  SIGHT_ASSIGN_OR_RETURN(double gain,
+                         InformationGain(attribute_values, labels));
   SIGHT_ASSIGN_OR_RETURN(double split, SplitInformation(attribute_values));
   if (split <= 0.0) return 0.0;  // single-valued attribute: no information
   return gain / split;
@@ -96,7 +97,8 @@ Result<double> GainRatio(const std::vector<std::string>& attribute_values,
 Result<double> CorrectedGainRatio(
     const std::vector<std::string>& attribute_values,
     const std::vector<int>& labels) {
-  SIGHT_ASSIGN_OR_RETURN(double gain, InformationGain(attribute_values, labels));
+  SIGHT_ASSIGN_OR_RETURN(double gain,
+                         InformationGain(attribute_values, labels));
   SIGHT_ASSIGN_OR_RETURN(double split, SplitInformation(attribute_values));
   if (split <= 0.0) return 0.0;
 

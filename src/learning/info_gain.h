@@ -25,16 +25,19 @@ double LabelEntropy(const std::vector<int>& labels);
 /// Information gain of `attribute_values` w.r.t. `labels`:
 /// H(labels) - sum_v p(v) H(labels | value = v).
 /// Errors on size mismatch or empty input.
-[[nodiscard]] Result<double> InformationGain(const std::vector<std::string>& attribute_values,
+[[nodiscard]]
+Result<double> InformationGain(const std::vector<std::string>& attribute_values,
                                const std::vector<int>& labels);
 
 /// Split information: entropy of the attribute-value distribution itself.
-[[nodiscard]] Result<double> SplitInformation(
+[[nodiscard]]
+Result<double> SplitInformation(
     const std::vector<std::string>& attribute_values);
 
 /// C4.5 gain ratio: InformationGain / SplitInformation. Returns 0 when the
 /// attribute has a single value (no split, no information).
-[[nodiscard]] Result<double> GainRatio(const std::vector<std::string>& attribute_values,
+[[nodiscard]]
+Result<double> GainRatio(const std::vector<std::string>& attribute_values,
                          const std::vector<int>& labels);
 
 /// Chance-corrected gain ratio: subtracts the expected information gain of
@@ -49,7 +52,8 @@ double LabelEntropy(const std::vector<int>& labels);
 /// accident. The correction removes exactly that chance mass, so
 /// informative low-arity attributes (gender) keep their score while noise
 /// attributes collapse to ~0.
-[[nodiscard]] Result<double> CorrectedGainRatio(
+[[nodiscard]]
+Result<double> CorrectedGainRatio(
     const std::vector<std::string>& attribute_values,
     const std::vector<int>& labels);
 

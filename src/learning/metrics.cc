@@ -20,7 +20,8 @@ Status CheckParallelNonEmpty(size_t a, size_t b) {
 
 Result<double> Rmse(const std::vector<double>& predictions,
                     const std::vector<double>& truth) {
-  SIGHT_RETURN_IF_ERROR(CheckParallelNonEmpty(predictions.size(), truth.size()));
+  SIGHT_RETURN_IF_ERROR(
+      CheckParallelNonEmpty(predictions.size(), truth.size()));
   double ss = 0.0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     double d = predictions[i] - truth[i];
@@ -31,7 +32,8 @@ Result<double> Rmse(const std::vector<double>& predictions,
 
 Result<double> MeanAbsoluteError(const std::vector<double>& predictions,
                                  const std::vector<double>& truth) {
-  SIGHT_RETURN_IF_ERROR(CheckParallelNonEmpty(predictions.size(), truth.size()));
+  SIGHT_RETURN_IF_ERROR(
+      CheckParallelNonEmpty(predictions.size(), truth.size()));
   double sum = 0.0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     sum += std::fabs(predictions[i] - truth[i]);
@@ -41,7 +43,8 @@ Result<double> MeanAbsoluteError(const std::vector<double>& predictions,
 
 Result<double> ExactMatchRate(const std::vector<int>& predictions,
                               const std::vector<int>& truth) {
-  SIGHT_RETURN_IF_ERROR(CheckParallelNonEmpty(predictions.size(), truth.size()));
+  SIGHT_RETURN_IF_ERROR(
+      CheckParallelNonEmpty(predictions.size(), truth.size()));
   size_t matches = 0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     if (predictions[i] == truth[i]) ++matches;

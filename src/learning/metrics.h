@@ -13,22 +13,26 @@
 namespace sight {
 
 /// Root mean square error between parallel prediction/truth vectors.
-[[nodiscard]] Result<double> Rmse(const std::vector<double>& predictions,
+[[nodiscard]]
+Result<double> Rmse(const std::vector<double>& predictions,
                     const std::vector<double>& truth);
 
 /// Mean absolute error.
-[[nodiscard]] Result<double> MeanAbsoluteError(const std::vector<double>& predictions,
+[[nodiscard]]
+Result<double> MeanAbsoluteError(const std::vector<double>& predictions,
                                  const std::vector<double>& truth);
 
 /// Fraction of exact matches between discrete label vectors.
-[[nodiscard]] Result<double> ExactMatchRate(const std::vector<int>& predictions,
+[[nodiscard]]
+Result<double> ExactMatchRate(const std::vector<int>& predictions,
                               const std::vector<int>& truth);
 
 /// Row-indexed-by-truth confusion matrix over labels in
 /// [label_min, label_max].
 class ConfusionMatrix {
  public:
-  [[nodiscard]] static Result<ConfusionMatrix> Create(int label_min, int label_max);
+  [[nodiscard]]
+  static Result<ConfusionMatrix> Create(int label_min, int label_max);
 
   /// OutOfRange when either label is outside the configured range.
   [[nodiscard]] Status Add(int truth, int prediction);

@@ -44,12 +44,14 @@ struct MulticlassHarmonicConfig {
 
 class MulticlassHarmonicClassifier : public GraphClassifier {
  public:
-  [[nodiscard]] static Result<MulticlassHarmonicClassifier> Create(
+  [[nodiscard]]
+  static Result<MulticlassHarmonicClassifier> Create(
       MulticlassHarmonicConfig config);
 
   /// Labeled values must be (numerically) integers within the configured
   /// label range; InvalidArgument otherwise.
-  [[nodiscard]] Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
+  [[nodiscard]]
+  Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
   std::string name() const override {
@@ -60,7 +62,8 @@ class MulticlassHarmonicClassifier : public GraphClassifier {
   /// Per-class scores for unlabeled nodes (row-major: node-major, one
   /// entry per class), exposed for tests and diagnostics. Labeled nodes
   /// get a one-hot row.
-  [[nodiscard]] Result<std::vector<std::vector<double>>> ClassScores(
+  [[nodiscard]]
+  Result<std::vector<std::vector<double>>> ClassScores(
       const SimilarityMatrix& weights, const LabeledSet& labeled) const;
 
  private:

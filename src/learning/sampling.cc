@@ -44,7 +44,8 @@ std::vector<size_t> UncertaintySampler::Select(const SamplingContext& context,
     scored.emplace_back(ambiguity, c);
   }
   size_t take = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(take),
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(take),
                     scored.end(), std::greater<>());
   std::vector<size_t> result;
   result.reserve(take);

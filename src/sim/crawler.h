@@ -31,7 +31,8 @@ class Crawler {
  public:
   /// Enumerates the owner's two-hop strangers up front (the simulator
   /// knows the full graph; the discovery order is what is simulated).
-  [[nodiscard]] static Result<Crawler> Create(const SocialGraph& graph, UserId owner,
+  [[nodiscard]]
+  static Result<Crawler> Create(const SocialGraph& graph, UserId owner,
                                 CrawlerConfig config, Rng* rng);
 
   /// Surfaces the next batch of strangers (empty once exhausted).

@@ -168,7 +168,8 @@ Result<OwnerDataset> FacebookGenerator::Generate(const OwnerSpec& owner_spec,
     size_t m = ZipfDraw(cap, config_.mutual_zipf_exponent, rng);
 
     UserId stranger = ds.graph.AddUser();
-    std::vector<size_t> picks = rng->SampleWithoutReplacement(members.size(), m);
+    std::vector<size_t> picks =
+        rng->SampleWithoutReplacement(members.size(), m);
     for (size_t p : picks) {
       SIGHT_RETURN_IF_ERROR(ds.graph.AddEdge(stranger, members[p]));
     }

@@ -88,7 +88,8 @@ class FacebookGenerator {
   [[nodiscard]] static Result<FacebookGenerator> Create(GeneratorConfig config);
 
   /// Generates a dataset for one owner. Deterministic given the Rng state.
-  [[nodiscard]] Result<OwnerDataset> Generate(const OwnerSpec& owner_spec, Rng* rng) const;
+  [[nodiscard]]
+  Result<OwnerDataset> Generate(const OwnerSpec& owner_spec, Rng* rng) const;
 
   const GeneratorConfig& config() const { return config_; }
 

@@ -82,7 +82,8 @@ class OwnerModel : public LabelOracle {
   /// Without a visibility table the owner judges benefits only through the
   /// displayed aggregate value; with one, the per-item emphasis term is
   /// active (needed to reproduce Table II).
-  [[nodiscard]] static Result<OwnerModel> Create(OwnerAttitude attitude,
+  [[nodiscard]]
+  static Result<OwnerModel> Create(OwnerAttitude attitude,
                                    const ProfileTable* profiles,
                                    const VisibilityTable* visibility = nullptr);
 

@@ -56,7 +56,8 @@ struct TwitterGeneratorConfig {
 /// accounts mutually followed by those.
 class TwitterGenerator {
  public:
-  [[nodiscard]] static Result<TwitterGenerator> Create(TwitterGeneratorConfig config);
+  [[nodiscard]]
+  static Result<TwitterGenerator> Create(TwitterGeneratorConfig config);
 
   [[nodiscard]] Result<OwnerDataset> Generate(Rng* rng) const;
 

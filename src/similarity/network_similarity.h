@@ -50,7 +50,8 @@ struct NetworkSimilarityConfig {
 /// Computes NS over a fixed graph.
 class NetworkSimilarity {
  public:
-  [[nodiscard]] static Result<NetworkSimilarity> Create(NetworkSimilarityConfig config);
+  [[nodiscard]]
+  static Result<NetworkSimilarity> Create(NetworkSimilarityConfig config);
 
   /// NS(o, s) in [0, 1]. Returns 0 for unknown users (no mutual friends).
   double Compute(const SocialGraph& graph, UserId owner,

@@ -92,7 +92,8 @@ class ProfileSimilarity {
  public:
   /// `weights` must have one non-negative entry per schema attribute with a
   /// positive sum. Pass an empty vector for uniform weights.
-  [[nodiscard]] static Result<ProfileSimilarity> Create(const ProfileSchema& schema,
+  [[nodiscard]]
+  static Result<ProfileSimilarity> Create(const ProfileSchema& schema,
                                           std::vector<double> weights = {});
 
   /// PS(a, b) in [0, 1] with frequencies from `freqs`.

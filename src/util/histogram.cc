@@ -59,8 +59,9 @@ double Histogram::bin_lower(size_t bin) const {
 }
 
 double Histogram::bin_upper(size_t bin) const {
-  return bin + 1 == counts_.size() ? hi_
-                                   : lo_ + width_ * static_cast<double>(bin + 1);
+  return bin + 1 == counts_.size()
+             ? hi_
+             : lo_ + width_ * static_cast<double>(bin + 1);
 }
 
 std::vector<double> Histogram::NormalizedCounts() const {

@@ -21,7 +21,8 @@ namespace sight {
 /// underflow/overflow and excluded from bin counts.
 class Histogram {
  public:
-  [[nodiscard]] static Result<Histogram> Create(size_t num_bins, double lo, double hi);
+  [[nodiscard]]
+  static Result<Histogram> Create(size_t num_bins, double lo, double hi);
 
   void Add(double value);
   void AddAll(const std::vector<double>& values);

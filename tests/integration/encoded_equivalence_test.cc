@@ -141,8 +141,9 @@ std::vector<size_t> NaiveSqueezerAssignments(const ProfileTable& table,
       }
     }
     if (clusters.empty() || best_sim < threshold) {
-      clusters.push_back({std::vector<std::unordered_map<std::string, size_t>>(n),
-                          std::vector<size_t>(n, 0)});
+      clusters.push_back(
+          {std::vector<std::unordered_map<std::string, size_t>>(n),
+           std::vector<size_t>(n, 0)});
       best = clusters.size() - 1;
     }
     for (AttributeId a = 0; a < n; ++a) {
@@ -320,7 +321,8 @@ TEST(EncodedEquivalenceTest, LearnerPredictionsMatchStringPath) {
   PoolSet pools = builder.Build(ds.graph, ds.profiles, ds.owner).value();
   std::vector<double> benefits(pools.strangers.size(), 0.5);
 
-  auto classifier = HarmonicFunctionClassifier::Create(HarmonicConfig{}).value();
+  auto classifier =
+      HarmonicFunctionClassifier::Create(HarmonicConfig{}).value();
   RandomSampler sampler;
   ActiveLearnerConfig config;
 

@@ -38,7 +38,9 @@ TEST(EndToEndTest, FullPipelineProducesAccuratePredictions) {
   Rng attitude_rng(5);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
   attitude.label_noise = 0.03;
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   RiskEngineConfig config;
   config.pools.attribute_weights = sim::PaperAttributeWeights();
@@ -77,7 +79,9 @@ TEST(EndToEndTest, ValidationAccuracyIsTracked) {
   OwnerDataset ds = MakeDataset(103);
   Rng attitude_rng(7);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   RiskEngineConfig config;
   auto engine = RiskEngine::Create(config).value();
@@ -101,7 +105,9 @@ TEST(EndToEndTest, NppPoolsDoNotUnderperformNspOnQueries) {
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
 
   auto run = [&](PoolStrategy strategy) {
-    auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+    auto oracle =
+        OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+            .value();
     RiskEngineConfig config;
     config.pools.strategy = strategy;
     auto engine = RiskEngine::Create(config).value();
@@ -123,7 +129,9 @@ TEST(EndToEndTest, IncrementalCrawlMatchesPoolRebuild) {
   OwnerDataset ds = MakeDataset(109, 150);
   Rng attitude_rng(19);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   Rng crawl_rng(23);
   sim::CrawlerConfig crawl_config;
@@ -157,7 +165,9 @@ TEST(EndToEndTest, HigherConfidenceCostsMoreQueries) {
   attitude.label_noise = 0.0;
 
   auto run = [&](double confidence) {
-    auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+    auto oracle =
+        OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+            .value();
     RiskEngineConfig config;
     config.learner.confidence = confidence;
     auto engine = RiskEngine::Create(config).value();
@@ -177,7 +187,9 @@ TEST(EndToEndTest, ConfidenceHundredLabelsEveryStranger) {
   OwnerDataset ds = MakeDataset(127, 80);
   Rng attitude_rng(41);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
   RiskEngineConfig config;
   config.learner.confidence = 100.0;
   config.learner.max_rounds = 10000;

@@ -107,7 +107,9 @@ TEST_P(EngineProperty, AssessmentCoversAllStrangersWithValidLabels) {
   OwnerDataset ds = MakeDataset(seed);
   Rng attitude_rng(seed ^ 0xa77);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   auto engine = RiskEngine::Create(RiskEngineConfig{}).value();
   Rng rng(seed ^ 0xbee);
@@ -136,7 +138,9 @@ TEST_P(EngineProperty, OwnerLabeledStrangersKeepTheirExactLabel) {
   OwnerDataset ds = MakeDataset(seed);
   Rng attitude_rng(seed ^ 0x123);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   auto engine = RiskEngine::Create(RiskEngineConfig{}).value();
   Rng rng(seed ^ 0x456);
@@ -157,7 +161,9 @@ TEST_P(EngineProperty, RoundRecordsAreWellFormed) {
   OwnerDataset ds = MakeDataset(seed);
   Rng attitude_rng(seed ^ 0x789);
   OwnerAttitude attitude = SampleOwnerAttitude(&attitude_rng);
-  auto oracle = OwnerModel::Create(attitude, &ds.profiles, &ds.visibility).value();
+  auto oracle =
+      OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
 
   auto engine = RiskEngine::Create(RiskEngineConfig{}).value();
   Rng rng(seed ^ 0xabc);

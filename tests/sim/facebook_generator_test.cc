@@ -129,7 +129,9 @@ TEST(FacebookGeneratorTest, NetworkSimilaritySkewedLow) {
     max_ns = std::max(max_ns, v);
     if (v < 0.3) ++low;
   }
-  EXPECT_GT(static_cast<double>(low) / static_cast<double>(ds.strangers.size()), 0.5);
+  EXPECT_GT(static_cast<double>(low) /
+                static_cast<double>(ds.strangers.size()),
+            0.5);
   EXPECT_LE(max_ns, 0.75);
 }
 
@@ -149,7 +151,9 @@ TEST(FacebookGeneratorTest, HomophilyInStrangerLocales) {
       ++same;
     }
   }
-  EXPECT_GT(static_cast<double>(same) / static_cast<double>(ds.strangers.size()), 0.4);
+  EXPECT_GT(static_cast<double>(same) /
+                static_cast<double>(ds.strangers.size()),
+            0.4);
 }
 
 TEST(FacebookGeneratorTest, MutualFriendCountsAreZipfSkewed) {
@@ -161,7 +165,9 @@ TEST(FacebookGeneratorTest, MutualFriendCountsAreZipfSkewed) {
     if (MutualFriendCount(ds.graph, ds.owner, s) == 1) ++single_mutual;
   }
   // Zipf(1.6) puts roughly half the mass on m=1.
-  EXPECT_GT(static_cast<double>(single_mutual) / static_cast<double>(ds.strangers.size()), 0.3);
+  EXPECT_GT(static_cast<double>(single_mutual) /
+                static_cast<double>(ds.strangers.size()),
+            0.3);
 }
 
 TEST(FacebookGeneratorTest, RequiresRng) {

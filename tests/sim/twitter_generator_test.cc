@@ -70,7 +70,9 @@ TEST(TwitterGeneratorTest, HubsDominateMutualFriends) {
       }
     }
   }
-  EXPECT_GT(static_cast<double>(through_hub) / static_cast<double>(ds.strangers.size()), 0.6);
+  EXPECT_GT(static_cast<double>(through_hub) /
+                static_cast<double>(ds.strangers.size()),
+            0.6);
 }
 
 TEST(TwitterGeneratorTest, BenefitsHigherThanFacebookLike) {
@@ -108,7 +110,9 @@ TEST(TwitterGeneratorTest, NetworkSimilaritySkewedLowerThanFacebook) {
   for (UserId s : ds.strangers) {
     if (ns.Compute(ds.graph, ds.owner, s) < 0.3) ++low;
   }
-  EXPECT_GT(static_cast<double>(low) / static_cast<double>(ds.strangers.size()), 0.7);
+  EXPECT_GT(static_cast<double>(low) /
+                static_cast<double>(ds.strangers.size()),
+            0.7);
 }
 
 TEST(TwitterGeneratorTest, DeterministicGivenSeed) {
