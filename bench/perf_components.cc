@@ -13,6 +13,7 @@
 #include "sim/facebook_generator.h"
 #include "similarity/network_similarity.h"
 #include "similarity/profile_similarity.h"
+#include "similarity/ps_kernels.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -132,6 +133,51 @@ BENCHMARK(BM_ProfileSimilarityMatrixThreaded)
     ->Args({400, 4})
     ->Args({2000, 1})
     ->Args({2000, 4});
+
+// One-vs-many PS batch kernel (the inner loop of the tiled matrix
+// build): one a-row scored against a block of b-rows per iteration.
+// The reported dispatch label shows which SIMD variant ran.
+void BM_PsKernelComputeBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  sim::OwnerDataset ds = MakeDataset(n);
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, ds.strangers);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+  std::vector<double> out(enc.num_rows());
+  for (auto _ : state) {
+    ps_kernels::ComputeBatch(enc.row(0), enc.row(0), enc.num_attributes(),
+                             enc.num_rows(), ps, freqs, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(ps_kernels::DispatchName(ps_kernels::ActiveDispatch()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(enc.num_rows()));
+}
+BENCHMARK(BM_PsKernelComputeBatch)->Arg(400)->Arg(2000);
+
+// The full tiled pairwise driver (what ActiveLearner::Create runs).
+void BM_PsKernelTiledFill(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  sim::OwnerDataset ds = MakeDataset(n);
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, ds.strangers);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+  ps_kernels::FillStats stats;
+  for (auto _ : state) {
+    SimilarityMatrix m(enc.num_rows());
+    stats = ps_kernels::FillPairwise(enc, ps, freqs, nullptr, &m);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel(std::string(ps_kernels::DispatchName(stats.dispatch)) +
+                 " tile " + std::to_string(stats.tile.rows) + "x" +
+                 std::to_string(stats.tile.cols));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(enc.num_rows() * (enc.num_rows() - 1) / 2));
+}
+BENCHMARK(BM_PsKernelTiledFill)->Arg(400)->Arg(2000);
 
 // Erdos-Renyi-style weighted graph shared by the harmonic benches.
 SimilarityMatrix MakeRandomGraph(size_t n) {

@@ -9,18 +9,22 @@
 // implementations visit neighbors in ascending index order and the
 // harness asserts their outputs are bitwise identical.
 //
-// Matrix construction is timed three ways: the string path (Profile
+// Matrix construction is timed four ways: the string path (Profile
 // values compared as std::string, frequencies via hashed lookup), the
-// dictionary-encoded path (EncodedProfileTable codes, code-indexed
-// frequency arrays), and the encoded path across a ThreadPool at several
-// thread counts. All three must agree bitwise. Thread scaling is only
+// dictionary-encoded per-pair path (EncodedProfileTable codes,
+// code-indexed frequency arrays), the batched cache-tiled kernel path
+// (similarity/ps_kernels.h — rows record the tile geometry and which
+// SIMD dispatch ran), and the tiled path across a ThreadPool at several
+// thread counts. All four must agree bitwise. Thread scaling is only
 // visible on multi-core hardware — ParallelFor deliberately runs inline
 // when the pool cannot beat the serial loop (single core, or too little
-// total work), and each threaded point records which mode actually ran —
-// and the JSON records hardware_concurrency so single-core runs are
+// total work), and each threaded point records which mode actually ran;
+// on a single-core host the point is additionally marked skipped. The
+// JSON records hardware_concurrency per build row so the numbers are
 // interpretable.
 //
 // Usage: perf_pipeline [--max-n=8000] [--out=BENCH_pipeline.json]
+// Env:   SIGHT_BENCH_THREADS=2,4,8 overrides the threaded point counts.
 
 #include <algorithm>
 #include <chrono>
@@ -43,6 +47,7 @@
 #include "learning/similarity_matrix.h"
 #include "sim/facebook_generator.h"
 #include "similarity/profile_similarity.h"
+#include "similarity/ps_kernels.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -211,7 +216,14 @@ struct BuildRow {
   double encode_ms = 0.0;  // EncodedProfileTable + frequency-array build
   double encoded_serial_ms = 0.0;
   double encoded_speedup = 0.0;  // string_serial_ms / encoded_serial_ms
-  std::vector<BuildThreadPoint> threaded;  // encoded path
+  // Batched cache-tiled kernel path (similarity/ps_kernels.h).
+  double tiled_ms = 0.0;
+  double tiled_speedup = 0.0;  // encoded_serial_ms / tiled_ms
+  size_t tile_rows = 0;
+  size_t tile_cols = 0;
+  std::string dispatch;  // "scalar" / "sse2" / "avx2"
+  unsigned hardware_concurrency = 0;
+  std::vector<BuildThreadPoint> threaded;  // tiled path across a pool
   bool bitwise_equal = true;
 };
 
@@ -241,9 +253,9 @@ SimilarityMatrix FillMatrixString(const sim::OwnerDataset& ds,
   return m;
 }
 
-// The current ActiveLearner construction kernel: the pool is
-// dictionary-encoded once and each row i of the pairwise matrix is one
-// parallel work item running on integer codes.
+// The pre-kernel encoded construction loop, kept as the baseline the
+// tiled kernels are measured against: one pair at a time on integer
+// codes, each row a parallel work item.
 SimilarityMatrix FillMatrixEncoded(const EncodedProfileTable& enc,
                                    const ProfileSimilarity& ps,
                                    const ValueFrequencyTable& freqs,
@@ -258,6 +270,20 @@ SimilarityMatrix FillMatrixEncoded(const EncodedProfileTable& enc,
     }
   }, pf);
   if (ran_parallel != nullptr) *ran_parallel = parallel;
+  return m;
+}
+
+// The current ActiveLearner construction kernel: batched one-vs-many PS
+// over cache-sized tiles, ParallelFor partitioned by tile.
+SimilarityMatrix FillMatrixTiled(const EncodedProfileTable& enc,
+                                 const ProfileSimilarity& ps,
+                                 const ValueFrequencyTable& freqs,
+                                 ThreadPool* tp,
+                                 ps_kernels::FillStats* stats) {
+  SimilarityMatrix m(enc.num_rows());
+  ps_kernels::FillStats s =
+      ps_kernels::FillPairwise(enc, ps, freqs, tp, &m);
+  if (stats != nullptr) *stats = s;
   return m;
 }
 
@@ -301,6 +327,8 @@ BuildRow RunBuildStudy(size_t n, const std::vector<size_t>& thread_counts) {
   // separate blocks records clock drift between the blocks as a
   // spurious ratio around 1.0.
   SimilarityMatrix encoded(0);
+  SimilarityMatrix tiled(0);
+  ps_kernels::FillStats tiled_stats;
   std::vector<std::unique_ptr<ThreadPool>> pools;
   std::vector<SimilarityMatrix> threaded;
   row.threaded.resize(thread_counts.size());
@@ -311,40 +339,57 @@ BuildRow RunBuildStudy(size_t n, const std::vector<size_t>& thread_counts) {
     row.threaded[t].ms = std::numeric_limits<double>::infinity();
   }
   row.encoded_serial_ms = std::numeric_limits<double>::infinity();
-  // More reps than the (5x slower) string baseline: the threaded-over-
-  // serial ratio is the quantity of interest here, and best-of needs
-  // several passes per series before the two minima stop wobbling
-  // around each other at the ±1% level.
+  row.tiled_ms = std::numeric_limits<double>::infinity();
+  // More reps than the (much slower) string baseline: the tiled-over-
+  // encoded and threaded-over-serial ratios are the quantities of
+  // interest here, and best-of needs several passes per series before
+  // the minima stop wobbling around each other at the ±1% level.
   const int encoded_reps = RepsFor(n) + 4;
   for (int rep = 0; rep < encoded_reps; ++rep) {
     row.encoded_serial_ms =
         std::min(row.encoded_serial_ms, TimeMsBestOf(1, [&] {
           encoded = FillMatrixEncoded(*enc, ps, *freqs, nullptr, nullptr);
         }));
+    row.tiled_ms = std::min(row.tiled_ms, TimeMsBestOf(1, [&] {
+      tiled = FillMatrixTiled(*enc, ps, *freqs, nullptr, &tiled_stats);
+    }));
     for (size_t t = 0; t < pools.size(); ++t) {
       BuildThreadPoint& point = row.threaded[t];
       point.ms = std::min(point.ms, TimeMsBestOf(1, [&] {
-        threaded[t] = FillMatrixEncoded(*enc, ps, *freqs, pools[t].get(),
-                                        &point.parallel);
+        ps_kernels::FillStats stats;
+        threaded[t] =
+            FillMatrixTiled(*enc, ps, *freqs, pools[t].get(), &stats);
+        point.parallel = stats.parallel;
       }));
     }
   }
   row.encoded_speedup = row.string_serial_ms / row.encoded_serial_ms;
-  row.bitwise_equal = MatricesBitwiseEqual(reference, encoded);
+  row.tiled_speedup = row.encoded_serial_ms / row.tiled_ms;
+  row.tile_rows = tiled_stats.tile.rows;
+  row.tile_cols = tiled_stats.tile.cols;
+  row.dispatch = ps_kernels::DispatchName(tiled_stats.dispatch);
+  row.hardware_concurrency = std::thread::hardware_concurrency();
+  row.bitwise_equal = MatricesBitwiseEqual(reference, encoded) &&
+                      MatricesBitwiseEqual(reference, tiled);
   if (!row.bitwise_equal) {
     std::fprintf(stderr,
-                 "FATAL: encoded matrix build diverges from the string path "
-                 "at n=%zu\n",
+                 "FATAL: encoded/tiled matrix build diverges from the string "
+                 "path at n=%zu\n",
                  n);
     std::exit(1);
   }
   std::printf("build     n=%-5zu encode=%8.2fms encoded=%9.2fms (%.2fx)\n", n,
               row.encode_ms, row.encoded_serial_ms, row.encoded_speedup);
+  std::printf(
+      "build     n=%-5zu tiled=%10.2fms (%.2fx vs encoded, %s, tile %zux%zu)"
+      "\n",
+      n, row.tiled_ms, row.tiled_speedup, row.dispatch.c_str(), row.tile_rows,
+      row.tile_cols);
 
   for (size_t t = 0; t < thread_counts.size(); ++t) {
     BuildThreadPoint& point = row.threaded[t];
-    point.speedup = row.encoded_serial_ms / point.ms;
-    if (!MatricesBitwiseEqual(encoded, threaded[t])) {
+    point.speedup = row.tiled_ms / point.ms;
+    if (!MatricesBitwiseEqual(tiled, threaded[t])) {
       std::fprintf(stderr,
                    "FATAL: threaded matrix build (threads=%zu) diverges from "
                    "serial at n=%zu\n",
@@ -396,13 +441,23 @@ bool WriteJson(const std::string& path, const std::vector<HarmonicRow>& solve,
         << ", \"encode_ms\": " << JsonOpt(r.encode_ms)
         << ", \"encoded_serial_ms\": " << JsonOpt(r.encoded_serial_ms)
         << ", \"encoded_speedup\": " << JsonOpt(r.encoded_speedup)
+        << ", \"tiled_ms\": " << JsonOpt(r.tiled_ms)
+        << ", \"tiled_speedup\": " << JsonOpt(r.tiled_speedup)
+        << ", \"tile_rows\": " << r.tile_rows
+        << ", \"tile_cols\": " << r.tile_cols
+        << ", \"dispatch\": \"" << r.dispatch << "\""
+        << ", \"hardware_concurrency\": " << r.hardware_concurrency
         << ", \"threaded\": [";
     for (size_t t = 0; t < r.threaded.size(); ++t) {
       out << "{\"threads\": " << r.threaded[t].threads << ", \"ms\": "
           << JsonOpt(r.threaded[t].ms) << ", \"speedup\": "
           << JsonOpt(r.threaded[t].speedup) << ", \"mode\": \""
           << (r.threaded[t].parallel ? "parallel" : "serial-fallback")
-          << "\"}" << (t + 1 < r.threaded.size() ? ", " : "");
+          << "\"";
+      if (r.hardware_concurrency <= 1 && !r.threaded[t].parallel) {
+        out << ", \"skipped\": \"single-core host\"";
+      }
+      out << "}" << (t + 1 < r.threaded.size() ? ", " : "");
     }
     out << "], \"bitwise_equal\": " << (r.bitwise_equal ? "true" : "false")
         << "}" << (i + 1 < build.size() ? "," : "") << "\n";
@@ -414,10 +469,16 @@ bool WriteJson(const std::string& path, const std::vector<HarmonicRow>& solve,
     if (r.n == 2000 && r.graph == "topk8") harmonic_2000 = r.speedup;
   }
   std::optional<double> encoded_2000;
+  std::optional<double> tiled_2000;
+  std::optional<double> tiled_8000;
   std::optional<double> build_2000_t2;
+  std::string dispatch = "scalar";
   for (const BuildRow& r : build) {
+    dispatch = r.dispatch;
+    if (r.n == 8000) tiled_8000 = r.tiled_speedup;
     if (r.n != 2000) continue;
     encoded_2000 = r.encoded_speedup;
+    tiled_2000 = r.tiled_speedup;
     for (const BuildThreadPoint& p : r.threaded) {
       if (p.threads == 2) build_2000_t2 = p.speedup;
     }
@@ -427,6 +488,11 @@ bool WriteJson(const std::string& path, const std::vector<HarmonicRow>& solve,
       << ",\n";
   out << "    \"matrix_build_encoded_speedup_n2000\": "
       << JsonOpt(encoded_2000) << ",\n";
+  out << "    \"matrix_build_tiled_speedup_n2000\": " << JsonOpt(tiled_2000)
+      << ",\n";
+  out << "    \"matrix_build_tiled_speedup_n8000\": " << JsonOpt(tiled_8000)
+      << ",\n";
+  out << "    \"ps_kernel_dispatch\": \"" << dispatch << "\",\n";
   out << "    \"matrix_build_speedup_2threads_n2000\": "
       << JsonOpt(build_2000_t2) << "\n";
   out << "  }\n";
@@ -451,13 +517,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Thread counts for the threaded build points; SIGHT_BENCH_THREADS
+  // (comma-separated, e.g. "2,4,8") overrides the default {2, 4} so
+  // multi-core hosts can record a fuller scaling curve.
+  std::vector<size_t> thread_counts = {2, 4};
+  if (const char* env = std::getenv("SIGHT_BENCH_THREADS")) {
+    std::vector<size_t> parsed;
+    for (const char* p = env; *p != '\0';) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) parsed.push_back(static_cast<size_t>(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (!parsed.empty()) thread_counts = std::move(parsed);
+  }
+
   std::vector<sight::HarmonicRow> solve;
   std::vector<sight::BuildRow> build;
   for (size_t n : sight::kPoolSizes) {
     if (n > max_n) continue;
     solve.push_back(sight::RunHarmonicStudy(n, /*sparsify=*/false));
     solve.push_back(sight::RunHarmonicStudy(n, /*sparsify=*/true));
-    build.push_back(sight::RunBuildStudy(n, {2, 4}));
+    build.push_back(sight::RunBuildStudy(n, thread_counts));
   }
   if (!sight::WriteJson(out_path, solve, build)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());

@@ -51,6 +51,20 @@ double KModes::Distance(const uint32_t* row,
   return dist;
 }
 
+void KModes::DistanceBatch(const uint32_t* row,
+                           const std::vector<std::vector<uint32_t>>& modes,
+                           double* out) const {
+  std::fill(out, out + modes.size(), 0.0);
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    const uint32_t code = row[a];
+    const bool present = code != ProfileCodec::kMissingCode;
+    const double w = weights_[a];
+    for (size_t m = 0; m < modes.size(); ++m) {
+      if (!(present && code == modes[m][a])) out[m] += w;
+    }
+  }
+}
+
 Result<Clustering> KModes::Cluster(const ProfileTable& table,
                                    const std::vector<UserId>& users,
                                    Rng* rng) const {
@@ -83,6 +97,7 @@ Result<Clustering> KModes::ClusterEncoded(const EncodedProfileTable& enc,
   // collapsing clusters.
   std::vector<std::vector<uint32_t>> modes;
   modes.reserve(k);
+  std::vector<double> dist(k, 0.0);  // scratch for DistanceBatch
   size_t first = static_cast<size_t>(
       rng->UniformInt(0, static_cast<int64_t>(num_users) - 1));
   modes.emplace_back(enc.row(first), enc.row(first) + num_attrs);
@@ -90,10 +105,10 @@ Result<Clustering> KModes::ClusterEncoded(const EncodedProfileTable& enc,
     double best_dist = -1.0;
     size_t best_idx = 0;
     for (size_t i = 0; i < num_users; ++i) {
-      const uint32_t* row = enc.row(i);
-      double nearest = Distance(row, modes[0]);
+      DistanceBatch(enc.row(i), modes, dist.data());
+      double nearest = dist[0];
       for (size_t m = 1; m < modes.size(); ++m) {
-        nearest = std::min(nearest, Distance(row, modes[m]));
+        nearest = std::min(nearest, dist[m]);
       }
       if (nearest > best_dist) {
         best_dist = nearest;
@@ -117,15 +132,14 @@ Result<Clustering> KModes::ClusterEncoded(const EncodedProfileTable& enc,
 
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     bool changed = false;
-    // Assignment step.
+    // Assignment step, one attribute-outer batch per row.
     for (size_t i = 0; i < num_users; ++i) {
-      const uint32_t* row = enc.row(i);
-      double best = Distance(row, modes[0]);
+      DistanceBatch(enc.row(i), modes, dist.data());
+      double best = dist[0];
       size_t best_c = 0;
       for (size_t c = 1; c < k; ++c) {
-        double d = Distance(row, modes[c]);
-        if (d < best) {
-          best = d;
+        if (dist[c] < best) {
+          best = dist[c];
           best_c = c;
         }
       }

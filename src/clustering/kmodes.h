@@ -59,6 +59,15 @@ class KModes {
   double Distance(const uint32_t* row,
                   const std::vector<uint32_t>& mode) const;
 
+  /// Batched hot path: out[m] = Distance(row, modes[m]) for every mode.
+  /// Attribute-outer, so the row's code loads and missing checks happen
+  /// once per attribute instead of once per (attribute, mode); each
+  /// out[m] still accumulates weights in ascending attribute order, so
+  /// results are bitwise-identical to the per-mode overload.
+  void DistanceBatch(const uint32_t* row,
+                     const std::vector<std::vector<uint32_t>>& modes,
+                     double* out) const;
+
  private:
   KModes(KModesConfig config, std::vector<double> weights)
       : config_(std::move(config)), weights_(std::move(weights)) {}

@@ -1,5 +1,7 @@
 #include "clustering/squeezer.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace sight {
@@ -81,6 +83,24 @@ double Squeezer::Similarity(const uint32_t* codes,
   return sim;
 }
 
+void Squeezer::SimilarityBatch(const uint32_t* codes,
+                               const ClusterSummary* summaries, size_t count,
+                               double* out) const {
+  std::fill(out, out + count, 0.0);
+  for (AttributeId a = 0; a < weights_.size(); ++a) {
+    const uint32_t code = codes[a];
+    if (code == ProfileCodec::kMissingCode) continue;
+    const double w = weights_[a];
+    for (size_t c = 0; c < count; ++c) {
+      const ClusterSummary& summary = summaries[c];
+      const size_t total = summary.TotalSupport(a);
+      if (total == 0) continue;
+      out[c] += w * (static_cast<double>(summary.SupportByCode(a, code)) /
+                     static_cast<double>(total));
+    }
+  }
+}
+
 double Squeezer::Similarity(const Profile& profile,
                             const ClusterSummary& summary) const {
   double sim = 0.0;
@@ -124,14 +144,16 @@ Result<size_t> IncrementalSqueezer::Add(const ProfileTable& table,
   }
   // Encode once (interning any new values — fresh codes have support 0 in
   // every existing summary, matching the string path's map misses), then
-  // score each cluster on the codes.
+  // score every cluster in one attribute-outer batch over the codes.
   codec_->EncodeInto(table.Get(user), code_buf_.data());
+  sim_buf_.resize(summaries_.size());
+  squeezer_.SimilarityBatch(code_buf_.data(), summaries_.data(),
+                            summaries_.size(), sim_buf_.data());
   double best_sim = -1.0;
   size_t best_cluster = 0;
   for (size_t c = 0; c < summaries_.size(); ++c) {
-    double sim = squeezer_.Similarity(code_buf_.data(), summaries_[c]);
-    if (sim > best_sim) {
-      best_sim = sim;
+    if (sim_buf_[c] > best_sim) {
+      best_sim = sim_buf_[c];
       best_cluster = c;
     }
   }

@@ -121,6 +121,14 @@ class Squeezer {
   double Similarity(const uint32_t* codes,
                     const ClusterSummary& summary) const;
 
+  /// Batched hot path: out[c] = Similarity(codes, summaries[c]) for c in
+  /// [0, count). Runs attribute-outer so the row's missing-value skips
+  /// and weight loads are hoisted out of the per-cluster loop; each
+  /// out[c] accumulates its contributions in the same ascending
+  /// attribute order as Similarity, so results are bitwise-identical.
+  void SimilarityBatch(const uint32_t* codes, const ClusterSummary* summaries,
+                       size_t count, double* out) const;
+
   /// Clusters `users` (profiles from `table`) in the given order.
   [[nodiscard]]
   Result<Clustering> Cluster(const ProfileTable& table,
@@ -175,6 +183,7 @@ class IncrementalSqueezer {
   size_t num_attributes_;
   std::shared_ptr<ProfileCodec> codec_;
   std::vector<uint32_t> code_buf_;  // scratch row for the profile at hand
+  std::vector<double> sim_buf_;     // scratch per-cluster similarities
   std::vector<ClusterSummary> summaries_;
   Clustering clustering_;
 };

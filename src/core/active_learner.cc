@@ -4,7 +4,9 @@
 #include <cmath>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
+#include "similarity/ps_kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -275,9 +277,6 @@ Result<ActiveLearner> ActiveLearner::Create(
   encoded.reserve(num_pools);
   freqs.reserve(num_pools);
   weights.reserve(num_pools);
-  // Flattened (pool, row) index space so one ParallelFor load-balances
-  // the similarity rows of every pool at once.
-  std::vector<size_t> row_base(num_pools + 1, 0);
   size_t total_pairs = 0;
   for (size_t p = 0; p < num_pools; ++p) {
     const StrangerPool& pool = pools.pools[p];
@@ -285,7 +284,6 @@ Result<ActiveLearner> ActiveLearner::Create(
     encoded.push_back(EncodedProfileTable::Build(profiles, pool.members));
     freqs.push_back(ValueFrequencyTable::Build(encoded.back()));
     weights.emplace_back(n);
-    row_base[p + 1] = row_base[p] + n;
     total_pairs += n * (n - 1) / 2;
     sims[p].assign(n, 0.0);
     bens[p].assign(n, 0.0);
@@ -301,24 +299,27 @@ Result<ActiveLearner> ActiveLearner::Create(
     }
   }
 
-  // Edge weights: the O(n^2) pairwise profile-similarity computation is
-  // embarrassingly parallel over rows. Every (i, j>i) pair maps to a
-  // distinct matrix entry, so rows write without synchronization. Rows
-  // run on the encoded view: integer compares plus code-indexed frequency
-  // loads, bitwise-identical to the string path.
+  // Edge weights: the O(n^2) pairwise profile-similarity fill runs on
+  // the batched, cache-tiled kernels (similarity/ps_kernels.h), bitwise-
+  // identical to the per-pair string path. Every pool's triangle is cut
+  // into tiles and the flattened cross-pool tile list feeds a single
+  // ParallelFor, so tiling composes with threading and small pools
+  // load-balance alongside large ones. Distinct tiles cover disjoint
+  // pairs, so tiles write without synchronization.
+  std::vector<std::pair<size_t, ps_kernels::PairTile>> tiles;
+  for (size_t p = 0; p < num_pools; ++p) {
+    const ps_kernels::TileShape shape =
+        ps_kernels::DefaultTileShape(encoded[p].num_attributes());
+    for (const ps_kernels::PairTile& tile :
+         ps_kernels::MakeTiles(encoded[p].num_rows(), shape)) {
+      tiles.emplace_back(p, tile);
+    }
+  }
   ParallelForOptions pf;
   pf.total_work = total_pairs;
-  ParallelFor(config.thread_pool, row_base.back(), [&](size_t r) {
-    size_t p = static_cast<size_t>(
-                   std::upper_bound(row_base.begin(), row_base.end(), r) -
-                   row_base.begin()) -
-               1;
-    size_t i = r - row_base[p];
-    const EncodedProfileTable& enc = encoded[p];
-    const uint32_t* row_i = enc.row(i);
-    for (size_t j = i + 1; j < enc.num_rows(); ++j) {
-      weights[p].Set(i, j, ps.Compute(row_i, enc.row(j), freqs[p]));
-    }
+  ParallelFor(config.thread_pool, tiles.size(), [&](size_t t) {
+    const auto& [p, tile] = tiles[t];
+    ps_kernels::FillTile(encoded[p], ps, freqs[p], tile, &weights[p]);
   }, pf);
 
   // Per-pool learner setup (sparsification, CSR compaction, label

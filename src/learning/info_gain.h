@@ -5,9 +5,18 @@
 // (Definition 6, Tables I and II): an attribute whose values strongly
 // reduce label entropy carries more of the owner's labeling rationale.
 
+// Every measure has a string-column and a code-column overload (the
+// latter for dictionary-encoded pools, graph/profile_codec.h). Both
+// reduce to one core over dense ids assigned in first-occurrence order,
+// so partitions are iterated — and their floating-point contributions
+// summed — in the same order on both paths: as long as two entries are
+// equal as strings iff they are equal as codes (which the codec
+// guarantees), the results are bitwise-identical.
+
 #ifndef SIGHT_LEARNING_INFO_GAIN_H_
 #define SIGHT_LEARNING_INFO_GAIN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,15 +38,28 @@ double LabelEntropy(const std::vector<int>& labels);
 Result<double> InformationGain(const std::vector<std::string>& attribute_values,
                                const std::vector<int>& labels);
 
+/// Code-column overload: one dictionary code per instance (any codes —
+/// only equality matters, so kMissingCode partitions like any value).
+[[nodiscard]]
+Result<double> InformationGain(const std::vector<uint32_t>& attribute_codes,
+                               const std::vector<int>& labels);
+
 /// Split information: entropy of the attribute-value distribution itself.
 [[nodiscard]]
 Result<double> SplitInformation(
     const std::vector<std::string>& attribute_values);
 
+[[nodiscard]]
+Result<double> SplitInformation(const std::vector<uint32_t>& attribute_codes);
+
 /// C4.5 gain ratio: InformationGain / SplitInformation. Returns 0 when the
 /// attribute has a single value (no split, no information).
 [[nodiscard]]
 Result<double> GainRatio(const std::vector<std::string>& attribute_values,
+                         const std::vector<int>& labels);
+
+[[nodiscard]]
+Result<double> GainRatio(const std::vector<uint32_t>& attribute_codes,
                          const std::vector<int>& labels);
 
 /// Chance-corrected gain ratio: subtracts the expected information gain of
@@ -55,6 +77,11 @@ Result<double> GainRatio(const std::vector<std::string>& attribute_values,
 [[nodiscard]]
 Result<double> CorrectedGainRatio(
     const std::vector<std::string>& attribute_values,
+    const std::vector<int>& labels);
+
+[[nodiscard]]
+Result<double> CorrectedGainRatio(
+    const std::vector<uint32_t>& attribute_codes,
     const std::vector<int>& labels);
 
 }  // namespace sight

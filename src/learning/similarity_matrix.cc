@@ -13,6 +13,17 @@ void SimilarityMatrix::Set(size_t i, size_t j, double value) {
   InvalidateCompact();
 }
 
+void SimilarityMatrix::SetRowSpan(size_t i, size_t j0, const double* values,
+                                  size_t count) {
+  if (count == 0) return;
+  SIGHT_CHECK(i < n_ && j0 + count <= i);
+  // Index(i, j) = i * (i + 1) / 2 + j for j < i, so the span is
+  // contiguous in the packed lower-triangle store.
+  std::copy(values, values + count, data_.begin() +
+                                        static_cast<ptrdiff_t>(Index(i, j0)));
+  InvalidateCompact();
+}
+
 double SimilarityMatrix::Get(size_t i, size_t j) const {
   SIGHT_CHECK(i < n_ && j < n_);
   if (i == j) return 0.0;

@@ -38,6 +38,15 @@ class SimilarityMatrix {
   /// Invalidates a previously built compact view.
   void Set(size_t i, size_t j, double value);
 
+  /// Sets w(i, j0 + k) = values[k] for k in [0, count). Requires
+  /// j0 + count <= i (a strictly-lower-triangle span), which makes the
+  /// destination one contiguous run of the packed store — this is the
+  /// write path of the tiled PS matrix-build kernels
+  /// (similarity/ps_kernels.h), one bounds check and one compact-view
+  /// invalidation per span instead of per pair. Concurrent SetRowSpan
+  /// calls on disjoint spans of a never-compacted matrix are safe.
+  void SetRowSpan(size_t i, size_t j0, const double* values, size_t count);
+
   double Get(size_t i, size_t j) const;
 
   /// Sum of row i (node degree in the weighted graph).

@@ -71,6 +71,16 @@ class ValueFrequencyTable {
 
   size_t num_attributes() const { return freq_.size(); }
 
+  /// The raw code-indexed frequency array for `attr` (entry [0], the
+  /// missing-value slot, is always 0.0; codes past the end read as 0).
+  /// The batched kernels in similarity/ps_kernels.h hoist `data()` and
+  /// `size()` out of their inner loops through this accessor; everything
+  /// else should prefer FrequencyByCode. `attr` must be <
+  /// num_attributes().
+  const std::vector<double>& FrequencyArray(AttributeId attr) const {
+    return freq_[attr];
+  }
+
   /// The dictionary the frequency arrays are indexed by.
   const ProfileCodec& codec() const { return codec_; }
 

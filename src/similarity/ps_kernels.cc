@@ -1,0 +1,311 @@
+#include "similarity/ps_kernels.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+// The SIMD variants need x86-64 (SSE2 is the baseline there) and a
+// compiler with __builtin_cpu_supports + function target attributes.
+#if defined(SIGHT_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SIGHT_PS_SIMD 1
+#include <immintrin.h>
+#else
+#define SIGHT_PS_SIMD 0
+#endif
+
+namespace sight {
+namespace ps_kernels {
+namespace {
+
+// Per-a-row state, packed once per ComputeBatch call and reused across
+// every b-row: parallel arrays over the a-row's *present* attributes.
+// Attributes missing on the a-row are dropped here — the scalar path
+// skips them for every pair, so they contribute nothing regardless of
+// the b-side. Attributes where only the b-side is missing are kept and
+// contribute w * min(fa, freq[0]) = w * 0.0 = +0.0; adding +0.0 to a
+// non-negative accumulator is a bitwise no-op in IEEE-754, which is
+// what lets the kernels run branch-free over the b-side (DESIGN.md
+// section 11).
+struct RowContext {
+  std::vector<uint32_t> attr;    // attribute index (ascending)
+  std::vector<uint32_t> ca;      // a-row code
+  std::vector<uint32_t> fsize;   // frequency-array length
+  std::vector<const double*> f;  // frequency-array data
+  std::vector<double> fa;        // a-side frequency, bounds-checked
+  std::vector<double> w;         // normalized attribute weight
+
+  void Pack(const uint32_t* a, const std::vector<double>& weights,
+            const ValueFrequencyTable& freqs) {
+    attr.clear();
+    ca.clear();
+    fsize.clear();
+    f.clear();
+    fa.clear();
+    w.clear();
+    for (uint32_t at = 0; at < weights.size(); ++at) {
+      uint32_t code = a[at];
+      if (code == ProfileCodec::kMissingCode) continue;
+      const std::vector<double>& freq = freqs.FrequencyArray(at);
+      attr.push_back(at);
+      ca.push_back(code);
+      fsize.push_back(static_cast<uint32_t>(freq.size()));
+      f.push_back(freq.data());
+      fa.push_back(code < freq.size() ? freq[code] : 0.0);
+      w.push_back(weights[at]);
+    }
+  }
+};
+
+// Portable batch kernel over b-rows [k0, count). Per pair, attributes
+// accumulate in ascending order with the same mul-then-add sequence as
+// ProfileSimilarity::Compute, so the result is bitwise-identical; the
+// wins are the hoisted per-attribute state and the branch-free b-side.
+void BatchScalarFrom(const RowContext& ctx, const uint32_t* b, size_t stride,
+                     size_t k0, size_t count, double* out) {
+  const size_t m = ctx.attr.size();
+  for (size_t k = k0; k < count; ++k) {
+    const uint32_t* row = b + k * stride;
+    double total = 0.0;
+    for (size_t s = 0; s < m; ++s) {
+      const uint32_t cb = row[ctx.attr[s]];
+      const double fb = cb < ctx.fsize[s] ? ctx.f[s][cb] : 0.0;
+      const double sim = cb == ctx.ca[s] ? 1.0 : std::min(ctx.fa[s], fb);
+      total += ctx.w[s] * sim;
+    }
+    out[k] = total;
+  }
+}
+
+void BatchScalar(const RowContext& ctx, const uint32_t* b, size_t stride,
+                 size_t count, double* out) {
+  BatchScalarFrom(ctx, b, stride, 0, count, out);
+}
+
+#if SIGHT_PS_SIMD
+
+// Two pairs per iteration. SSE2 has no gather, so the frequency loads
+// stay scalar; the compare/min/blend/mul/add run per-lane. Integer
+// compares are widened to 64-bit lane masks by duplicating each 32-bit
+// mask word. The accumulator never sees an FMA: x86-64 baseline code
+// cannot contract the separate mul and add, matching the scalar path's
+// two roundings.
+void BatchSse2(const RowContext& ctx, const uint32_t* b, size_t stride,
+               size_t count, double* out) {
+  const size_t m = ctx.attr.size();
+  const __m128d one = _mm_set1_pd(1.0);
+  size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const uint32_t* r0 = b + k * stride;
+    const uint32_t* r1 = r0 + stride;
+    __m128d acc = _mm_setzero_pd();
+    for (size_t s = 0; s < m; ++s) {
+      const uint32_t at = ctx.attr[s];
+      const uint32_t cb0 = r0[at];
+      const uint32_t cb1 = r1[at];
+      const uint32_t fs = ctx.fsize[s];
+      const double* freq = ctx.f[s];
+      const __m128d fb = _mm_setr_pd(cb0 < fs ? freq[cb0] : 0.0,
+                                     cb1 < fs ? freq[cb1] : 0.0);
+      const __m128i cb = _mm_setr_epi32(static_cast<int>(cb0),
+                                        static_cast<int>(cb1), 0, 0);
+      const __m128i eq32 =
+          _mm_cmpeq_epi32(cb, _mm_set1_epi32(static_cast<int>(ctx.ca[s])));
+      // Duplicate each 32-bit compare word into a 64-bit lane mask.
+      const __m128d eq = _mm_castsi128_pd(_mm_unpacklo_epi32(eq32, eq32));
+      const __m128d mn = _mm_min_pd(_mm_set1_pd(ctx.fa[s]), fb);
+      const __m128d sim =
+          _mm_or_pd(_mm_and_pd(eq, one), _mm_andnot_pd(eq, mn));
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(ctx.w[s]), sim));
+    }
+    _mm_storeu_pd(out + k, acc);
+  }
+  BatchScalarFrom(ctx, b, stride, k, count, out);
+}
+
+// Four pairs per iteration with masked frequency gathers. The mask is
+// the unsigned bounds check cb < fsize (bias-XOR turns the signed
+// compare unsigned, so kUnknownValue lanes mask out instead of going
+// negative); masked-out lanes read 0.0 without touching memory, which
+// reproduces FrequencyByCode's out-of-range behaviour exactly. The
+// target enables AVX2 only — not FMA — so mul and add stay separate
+// roundings, as in the scalar path.
+__attribute__((target("avx2"))) void BatchAvx2(const RowContext& ctx,
+                                               const uint32_t* b,
+                                               size_t stride, size_t count,
+                                               double* out) {
+  const size_t m = ctx.attr.size();
+  const __m128i bias = _mm_set1_epi32(INT32_MIN);
+  const __m256d one = _mm256_set1_pd(1.0);
+  size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const uint32_t* r0 = b + k * stride;
+    const uint32_t* r1 = r0 + stride;
+    const uint32_t* r2 = r1 + stride;
+    const uint32_t* r3 = r2 + stride;
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t s = 0; s < m; ++s) {
+      const uint32_t at = ctx.attr[s];
+      const __m128i cb = _mm_setr_epi32(
+          static_cast<int>(r0[at]), static_cast<int>(r1[at]),
+          static_cast<int>(r2[at]), static_cast<int>(r3[at]));
+      const __m128i inb = _mm_cmpgt_epi32(
+          _mm_xor_si128(_mm_set1_epi32(static_cast<int>(ctx.fsize[s])),
+                        bias),
+          _mm_xor_si128(cb, bias));
+      const __m256d fb = _mm256_mask_i32gather_pd(
+          _mm256_setzero_pd(), ctx.f[s], cb,
+          _mm256_castsi256_pd(_mm256_cvtepi32_epi64(inb)), 8);
+      const __m256d eq = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(
+          _mm_cmpeq_epi32(cb,
+                          _mm_set1_epi32(static_cast<int>(ctx.ca[s])))));
+      const __m256d mn = _mm256_min_pd(_mm256_set1_pd(ctx.fa[s]), fb);
+      const __m256d sim = _mm256_blendv_pd(mn, one, eq);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(ctx.w[s]), sim));
+    }
+    _mm256_storeu_pd(out + k, acc);
+  }
+  BatchScalarFrom(ctx, b, stride, k, count, out);
+}
+
+#endif  // SIGHT_PS_SIMD
+
+using BatchFn = void (*)(const RowContext&, const uint32_t*, size_t, size_t,
+                         double*);
+
+BatchFn ResolveBatchFn() {
+  switch (ActiveDispatch()) {
+#if SIGHT_PS_SIMD
+    case Dispatch::kAvx2:
+      return BatchAvx2;
+    case Dispatch::kSse2:
+      return BatchSse2;
+#endif
+    default:
+      return BatchScalar;
+  }
+}
+
+BatchFn ActiveBatchFn() {
+  static const BatchFn fn = ResolveBatchFn();
+  return fn;
+}
+
+}  // namespace
+
+Dispatch ActiveDispatch() {
+#if SIGHT_PS_SIMD
+  static const Dispatch dispatch = __builtin_cpu_supports("avx2")
+                                       ? Dispatch::kAvx2
+                                       : Dispatch::kSse2;
+  return dispatch;
+#else
+  return Dispatch::kScalar;
+#endif
+}
+
+const char* DispatchName(Dispatch dispatch) {
+  switch (dispatch) {
+    case Dispatch::kScalar:
+      return "scalar";
+    case Dispatch::kSse2:
+      return "sse2";
+    case Dispatch::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+TileShape DefaultTileShape(size_t num_attributes) {
+  // Column block: the b-rows a tile re-reads once per a-row. Budget
+  // half a typical 32 KiB L1d for them (the other half covers the
+  // output span, the frequency arrays' hot entries, and the a-rows).
+  constexpr size_t kColBudgetBytes = 16 * 1024;
+  const size_t row_bytes =
+      std::max<size_t>(1, num_attributes) * sizeof(uint32_t);
+  size_t cols = kColBudgetBytes / row_bytes;
+  cols = std::clamp<size_t>(cols & ~size_t{7}, 32, 512);
+  // Row block: enough rows that packing the per-row context is noise
+  // and a tile is a meaningful ParallelFor work item, small enough that
+  // tiles still load-balance across threads.
+  return TileShape{64, cols};
+}
+
+std::vector<PairTile> MakeTiles(size_t n, TileShape shape) {
+  SIGHT_CHECK(shape.rows > 0 && shape.cols > 0);
+  std::vector<PairTile> tiles;
+  if (n < 2) return tiles;
+  for (size_t j0 = 0; j0 + 1 < n; j0 += shape.cols) {
+    const size_t j1 = std::min(n, j0 + shape.cols);
+    for (size_t i0 = j0 + 1; i0 < n; i0 += shape.rows) {
+      // Clamp the first row block of a column stripe to the stripe's
+      // diagonal start so blocks stay aligned to multiples of rows.
+      const size_t begin = std::max(i0, j0 + 1);
+      const size_t end = std::min(n, i0 + shape.rows);
+      if (begin >= end) continue;
+      tiles.push_back(PairTile{begin, end, j0, j1});
+    }
+  }
+  return tiles;
+}
+
+size_t TilePairCount(const PairTile& tile) {
+  size_t pairs = 0;
+  for (size_t i = tile.row_begin; i < tile.row_end; ++i) {
+    const size_t j1 = std::min(tile.col_end, i);
+    if (j1 > tile.col_begin) pairs += j1 - tile.col_begin;
+  }
+  return pairs;
+}
+
+void ComputeBatch(const uint32_t* a, const uint32_t* b, size_t stride,
+                  size_t count, const ProfileSimilarity& ps,
+                  const ValueFrequencyTable& freqs, double* out) {
+  if (count == 0) return;
+  RowContext ctx;
+  ctx.Pack(a, ps.normalized_weights(), freqs);
+  ActiveBatchFn()(ctx, b, stride, count, out);
+}
+
+void FillTile(const EncodedProfileTable& enc, const ProfileSimilarity& ps,
+              const ValueFrequencyTable& freqs, const PairTile& tile,
+              SimilarityMatrix* out) {
+  SIGHT_CHECK(out != nullptr && tile.row_end <= enc.num_rows());
+  const size_t stride = enc.num_attributes();
+  const BatchFn batch = ActiveBatchFn();
+  RowContext ctx;
+  std::vector<double> buf(tile.col_end - tile.col_begin);
+  const uint32_t* b = enc.row(tile.col_begin);
+  for (size_t i = std::max(tile.row_begin, tile.col_begin + 1);
+       i < tile.row_end; ++i) {
+    const size_t count = std::min(tile.col_end, i) - tile.col_begin;
+    ctx.Pack(enc.row(i), ps.normalized_weights(), freqs);
+    batch(ctx, b, stride, count, buf.data());
+    out->SetRowSpan(i, tile.col_begin, buf.data(), count);
+  }
+}
+
+FillStats FillPairwise(const EncodedProfileTable& enc,
+                       const ProfileSimilarity& ps,
+                       const ValueFrequencyTable& freqs, ThreadPool* pool,
+                       SimilarityMatrix* out, TileShape shape) {
+  SIGHT_CHECK(out != nullptr && out->size() == enc.num_rows());
+  FillStats stats;
+  stats.tile =
+      shape.rows > 0 && shape.cols > 0
+          ? shape
+          : DefaultTileShape(enc.num_attributes());
+  stats.dispatch = ActiveDispatch();
+  const size_t n = enc.num_rows();
+  std::vector<PairTile> tiles = MakeTiles(n, stats.tile);
+  stats.tiles = tiles.size();
+  ParallelForOptions options;
+  options.total_work = n > 1 ? n * (n - 1) / 2 : 0;
+  stats.parallel = ParallelFor(
+      pool, tiles.size(),
+      [&](size_t t) { FillTile(enc, ps, freqs, tiles[t], out); }, options);
+  return stats;
+}
+
+}  // namespace ps_kernels
+}  // namespace sight

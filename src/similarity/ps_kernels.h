@@ -1,0 +1,131 @@
+// Batched, cache-tiled kernels for the pairwise PS matrix build.
+//
+// After dictionary encoding (graph/profile_codec.h) the dominant
+// per-owner cost in the risk pipeline is still the O(n^2) pairwise
+// profile-similarity fill, computed one pair at a time: every pair
+// re-reads the a-row's codes, re-resolves each attribute's frequency
+// array through a vector-of-vectors indirection, and re-computes the
+// a-side frequency lookup. This layer batches that work:
+//
+//  * ComputeBatch is a one-vs-many kernel: the a-row's per-attribute
+//    state (code, weight, frequency-array pointer/size, and the a-side
+//    frequency) is packed once and reused across a whole run of b-rows.
+//  * FillTile / FillPairwise drive the strictly-lower triangle of an
+//    encoded pool in cache-sized tiles: a column block of b-rows is
+//    sized to stay resident in L1 while every a-row of the row block is
+//    scored against it, so each code row and each frequency array is
+//    loaded once per tile instead of once per pair. Tiles partition the
+//    triangle, so a ParallelFor over tiles (FillPairwise, or the
+//    flattened cross-pool tile list in ActiveLearner::Create) composes
+//    threading with tiling; every (i, j) pair is written exactly once.
+//
+// Vectorization is across *pairs* — one pair per SIMD lane — and the
+// per-pair summation over attributes keeps the scalar path's ascending
+// attribute order, so every variant is bitwise-identical to
+// ProfileSimilarity::Compute (see DESIGN.md section 11 for why the
+// lane-per-pair invariant guarantees this). The portable scalar batch
+// kernel is always built; SSE2/AVX2 variants are compiled behind the
+// SIGHT_SIMD CMake option and the fastest one the CPU supports is
+// picked once at runtime (ActiveDispatch reports which, and the bench
+// output records it).
+
+#ifndef SIGHT_SIMILARITY_PS_KERNELS_H_
+#define SIGHT_SIMILARITY_PS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/profile_codec.h"
+#include "learning/similarity_matrix.h"
+#include "similarity/profile_similarity.h"
+#include "util/thread_pool.h"
+
+namespace sight {
+namespace ps_kernels {
+
+/// Which ComputeBatch implementation runtime dispatch selected.
+enum class Dispatch {
+  kScalar,  // portable batch kernel (also the tail handler for SIMD)
+  kSse2,    // 2 pairs per iteration (x86-64 baseline)
+  kAvx2,    // 4 pairs per iteration, masked frequency gathers
+};
+
+/// The variant every batched call in this process uses. Resolved once:
+/// scalar unless SIGHT_SIMD was compiled in and the CPU supports a
+/// vector variant.
+Dispatch ActiveDispatch();
+
+/// Stable lowercase name for bench output ("scalar", "sse2", "avx2").
+const char* DispatchName(Dispatch dispatch);
+
+/// Tile geometry for the pairwise drivers: `rows` a-rows are scored
+/// against a block of `cols` b-rows before the driver moves on.
+struct TileShape {
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
+/// Shape used when none is given: `cols` sized so the column block of
+/// code rows fits comfortably in L1, `rows` sized so a tile amortizes
+/// per-row packing and makes a reasonable ParallelFor work item.
+TileShape DefaultTileShape(size_t num_attributes);
+
+/// One tile of the strictly-lower triangle: pairs (i, j) with i in
+/// [row_begin, row_end), j in [col_begin, min(col_end, i)). Tiles
+/// produced by MakeTiles partition the triangle.
+struct PairTile {
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  size_t col_begin = 0;
+  size_t col_end = 0;
+};
+
+/// Tiles the strictly-lower triangle of an n x n matrix. Column-major
+/// tile order (all row blocks of one column block before the next), so
+/// consecutive tiles reuse the same resident b-block when run serially.
+std::vector<PairTile> MakeTiles(size_t n, TileShape shape);
+
+/// Number of (i, j) pairs `tile` covers (ParallelFor total_work input).
+size_t TilePairCount(const PairTile& tile);
+
+/// One-vs-many kernel: out[k] = PS(a, b + k * stride) for k in
+/// [0, count), where every row holds one code per attribute and
+/// `stride` is the distance between consecutive b-rows (num_attributes
+/// for an EncodedProfileTable). Bitwise-identical to calling
+/// ProfileSimilarity::Compute(a, b + k * stride, freqs) per pair.
+void ComputeBatch(const uint32_t* a, const uint32_t* b, size_t stride,
+                  size_t count, const ProfileSimilarity& ps,
+                  const ValueFrequencyTable& freqs, double* out);
+
+/// Computes every pair of `tile` over the rows of `enc` and writes them
+/// into `out` (which must be at least enc.num_rows() wide). Distinct
+/// tiles write disjoint spans, so concurrent FillTile calls on one
+/// never-compacted matrix are safe.
+void FillTile(const EncodedProfileTable& enc, const ProfileSimilarity& ps,
+              const ValueFrequencyTable& freqs, const PairTile& tile,
+              SimilarityMatrix* out);
+
+/// What FillPairwise actually ran with, for bench reporting.
+struct FillStats {
+  TileShape tile;
+  Dispatch dispatch = Dispatch::kScalar;
+  size_t tiles = 0;
+  /// Whether ParallelFor dispatched tiles to the pool or ran inline.
+  bool parallel = false;
+};
+
+/// Tiled pairwise driver: fills the full strictly-lower triangle of
+/// `out` (size enc.num_rows()) with PS over the rows of `enc`,
+/// partitioning by tile across `pool` (ParallelFor decides, using the
+/// pair count as total_work). Pass a TileShape to override the default
+/// geometry (tests use degenerate shapes to hit tile boundaries).
+FillStats FillPairwise(const EncodedProfileTable& enc,
+                       const ProfileSimilarity& ps,
+                       const ValueFrequencyTable& freqs, ThreadPool* pool,
+                       SimilarityMatrix* out, TileShape shape = {});
+
+}  // namespace ps_kernels
+}  // namespace sight
+
+#endif  // SIGHT_SIMILARITY_PS_KERNELS_H_

@@ -15,9 +15,11 @@
 #include "clustering/kmodes.h"
 #include "clustering/squeezer.h"
 #include "core/active_learner.h"
+#include "core/attribute_importance.h"
 #include "core/pool_builder.h"
 #include "graph/profile_codec.h"
 #include "learning/harmonic.h"
+#include "learning/info_gain.h"
 #include "learning/sampling.h"
 #include "sim/facebook_generator.h"
 #include "similarity/profile_similarity.h"
@@ -301,6 +303,71 @@ TEST(EncodedEquivalenceTest, KModesMatchesNaiveStringReference) {
                     config.max_iterations, &reference_rng);
     EXPECT_EQ(encoded.assignments, expected.assignments) << "k=" << k;
     EXPECT_EQ(encoded.clusters, expected.clusters) << "k=" << k;
+  }
+}
+
+// The info-gain measures partition a column by value identity only, and
+// the codec maps equal strings to equal codes ("" to kMissingCode), so
+// the string and code overloads must agree bitwise — including on
+// all-missing rows and on values outside everyone else's vocabulary.
+TEST(EncodedEquivalenceTest, InfoGainMeasuresMatchOnCodeColumns) {
+  OwnerDataset ds = MakeDataset(239, 180);
+  std::vector<UserId> users = WithEdgeCaseUsers(&ds.profiles, ds.strangers);
+  EncodedProfileTable enc = EncodedProfileTable::Build(ds.profiles, users);
+
+  std::vector<int> labels;
+  labels.reserve(users.size());
+  for (UserId u : users) labels.push_back(static_cast<int>(u % 3));
+
+  size_t n = ds.profiles.schema().num_attributes();
+  std::vector<std::string> values;
+  std::vector<uint32_t> codes;
+  for (AttributeId a = 0; a < n; ++a) {
+    values.clear();
+    codes.clear();
+    for (size_t i = 0; i < users.size(); ++i) {
+      values.push_back(ds.profiles.Value(users[i], a));
+      codes.push_back(enc.row(i)[a]);
+    }
+    EXPECT_EQ(InformationGain(values, labels).value(),
+              InformationGain(codes, labels).value())
+        << "attribute " << a;
+    EXPECT_EQ(SplitInformation(values).value(),
+              SplitInformation(codes).value())
+        << "attribute " << a;
+    EXPECT_EQ(GainRatio(values, labels).value(),
+              GainRatio(codes, labels).value())
+        << "attribute " << a;
+    EXPECT_EQ(CorrectedGainRatio(values, labels).value(),
+              CorrectedGainRatio(codes, labels).value())
+        << "attribute " << a;
+  }
+}
+
+TEST(EncodedEquivalenceTest, AttributeImportanceMatchesEncodedPath) {
+  OwnerDataset ds = MakeDataset(241, 160);
+  std::vector<UserId> users = WithEdgeCaseUsers(&ds.profiles, ds.strangers);
+  EncodedProfileTable enc = EncodedProfileTable::Build(ds.profiles, users);
+
+  std::vector<RiskLabel> labels;
+  labels.reserve(users.size());
+  for (UserId u : users) {
+    labels.push_back(
+        static_cast<RiskLabel>(kRiskLabelMin + static_cast<int>(u % 3)));
+  }
+
+  auto by_string =
+      ProfileAttributeImportance(ds.profiles, users, labels).value();
+  auto by_code =
+      ProfileAttributeImportance(ds.profiles.schema(), enc, labels).value();
+
+  ASSERT_EQ(by_string.size(), by_code.size());
+  for (size_t a = 0; a < by_string.size(); ++a) {
+    EXPECT_EQ(by_string[a].name, by_code[a].name);
+    EXPECT_EQ(by_string[a].gain_ratio, by_code[a].gain_ratio)
+        << "attribute " << by_string[a].name;
+    EXPECT_EQ(by_string[a].importance, by_code[a].importance)
+        << "attribute " << by_string[a].name;
   }
 }
 

@@ -63,14 +63,22 @@ TEST(InformationGainTest, PartialPredictor) {
 }
 
 TEST(InformationGainTest, RejectsBadInput) {
-  EXPECT_FALSE(InformationGain({"a"}, {1, 2}).ok());
-  EXPECT_FALSE(InformationGain({}, {}).ok());
+  EXPECT_FALSE(
+      InformationGain(std::vector<std::string>{"a"}, {1, 2}).ok());
+  EXPECT_FALSE(InformationGain(std::vector<std::string>{}, {}).ok());
+  EXPECT_FALSE(InformationGain(std::vector<uint32_t>{}, {}).ok());
 }
 
 TEST(SplitInformationTest, EntropyOfAttributeValues) {
-  EXPECT_DOUBLE_EQ(SplitInformation({"a", "a", "b", "b"}).value(), 1.0);
-  EXPECT_DOUBLE_EQ(SplitInformation({"a", "a"}).value(), 0.0);
-  EXPECT_FALSE(SplitInformation({}).ok());
+  EXPECT_DOUBLE_EQ(
+      SplitInformation(std::vector<std::string>{"a", "a", "b", "b"}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      SplitInformation(std::vector<std::string>{"a", "a"}).value(), 0.0);
+  EXPECT_FALSE(SplitInformation(std::vector<std::string>{}).ok());
+  EXPECT_DOUBLE_EQ(
+      SplitInformation(std::vector<uint32_t>{7, 7, 9, 9}).value(), 1.0);
+  EXPECT_FALSE(SplitInformation(std::vector<uint32_t>{}).ok());
 }
 
 TEST(GainRatioTest, NormalizesBySplitInfo) {

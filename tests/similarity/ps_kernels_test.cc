@@ -1,0 +1,258 @@
+// The batched/tiled kernels must be bitwise drop-ins for the per-pair
+// scalar PS: every dispatch variant's lanes, every tail length, every
+// tile geometry, and the parallel driver have to reproduce
+// ProfileSimilarity::Compute exactly — including kMissingCode and
+// kUnknownValue lanes and codes outside the frequency dictionary.
+
+#include "similarity/ps_kernels.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/profile.h"
+#include "graph/profile_codec.h"
+#include "sim/facebook_generator.h"
+#include "similarity/profile_similarity.h"
+#include "util/thread_pool.h"
+
+namespace sight {
+namespace {
+
+using sim::FacebookGenerator;
+using sim::Gender;
+using sim::GeneratorConfig;
+using sim::Locale;
+using sim::OwnerDataset;
+
+ProfileSchema TestSchema() {
+  return ProfileSchema::Create({"gender", "locale", "last_name"}).value();
+}
+
+// Small population with skewed frequencies so min(fa, fb) picks both
+// operands across pairs.
+ProfileTable TestPopulation() {
+  ProfileTable table(TestSchema());
+  auto set = [&](UserId u, std::vector<std::string> values) {
+    Profile p;
+    p.values = std::move(values);
+    EXPECT_TRUE(table.Set(u, p).ok());
+  };
+  set(0, {"male", "tr_TR", "Yilmaz"});
+  set(1, {"male", "tr_TR", "Yilmaz"});
+  set(2, {"male", "en_US", "Smith"});
+  set(3, {"female", "en_US", "Smith"});
+  set(4, {"female", "", "Nowak"});
+  return table;
+}
+
+OwnerDataset MakeDataset(uint64_t seed, size_t strangers) {
+  GeneratorConfig config;
+  config.num_friends = 30;
+  config.num_strangers = strangers;
+  config.num_communities = 3;
+  auto gen = FacebookGenerator::Create(config).value();
+  Rng rng(seed);
+  return gen.Generate({Gender::kFemale, Locale::kUS}, &rng).value();
+}
+
+TEST(PsKernelsTest, DispatchReportsAKnownName) {
+  std::string name = ps_kernels::DispatchName(ps_kernels::ActiveDispatch());
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2") << name;
+}
+
+// Raw code rows exercising every lane state: matching codes, differing
+// in-dictionary codes, kMissingCode on either side, kUnknownValue, and
+// codes just past the frequency array. Every batch size from empty up
+// past the widest lane group covers the 2- and 4-wide tails.
+TEST(PsKernelsTest, ComputeBatchMatchesScalarOnRawRows) {
+  ProfileTable table = TestPopulation();
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(table, {0, 1, 2, 3, 4});
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  const size_t stride = enc.num_attributes();
+
+  const uint32_t unknown = ProfileCodec::kUnknownValue;
+  const uint32_t missing = ProfileCodec::kMissingCode;
+  // a-rows: a fully-present row, one with a missing attribute, one fully
+  // missing, and one holding an out-of-dictionary and a past-the-end
+  // code.
+  const std::vector<std::vector<uint32_t>> a_rows = {
+      {1, 1, 1},
+      {2, missing, 2},
+      {missing, missing, missing},
+      {unknown, 2, 99},
+  };
+
+  for (size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                       size_t{5}, size_t{6}, size_t{7}, size_t{9}, size_t{16},
+                       size_t{31}, size_t{70}}) {
+    // b-rows cycling through in-dictionary, missing, unknown, and
+    // past-the-end codes in every attribute position.
+    std::vector<uint32_t> b(count * stride);
+    for (size_t k = 0; k < count; ++k) {
+      for (size_t a = 0; a < stride; ++a) {
+        switch ((k + a) % 6) {
+          case 0: b[k * stride + a] = missing; break;
+          case 1: b[k * stride + a] = 1; break;
+          case 2: b[k * stride + a] = 2; break;
+          case 3: b[k * stride + a] = unknown; break;
+          case 4: b[k * stride + a] = 3; break;
+          default: b[k * stride + a] = 77; break;  // past the dictionary
+        }
+      }
+    }
+    std::vector<double> out(count, -1.0);
+    for (const std::vector<uint32_t>& a_row : a_rows) {
+      ps_kernels::ComputeBatch(a_row.data(), b.data(), stride, count, ps,
+                               freqs, out.data());
+      for (size_t k = 0; k < count; ++k) {
+        EXPECT_EQ(out[k],
+                  ps.Compute(a_row.data(), b.data() + k * stride, freqs))
+            << "count " << count << " row " << k;
+      }
+    }
+  }
+}
+
+TEST(PsKernelsTest, TilesPartitionTheTriangleExactly) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{17},
+                   size_t{64}, size_t{65}}) {
+    for (ps_kernels::TileShape shape :
+         {ps_kernels::TileShape{1, 1}, ps_kernels::TileShape{4, 5},
+          ps_kernels::TileShape{64, 8}, ps_kernels::TileShape{100, 100}}) {
+      std::vector<ps_kernels::PairTile> tiles =
+          ps_kernels::MakeTiles(n, shape);
+      std::vector<int> covered(n * n, 0);
+      size_t pair_count_sum = 0;
+      for (const ps_kernels::PairTile& tile : tiles) {
+        pair_count_sum += ps_kernels::TilePairCount(tile);
+        for (size_t i = tile.row_begin; i < tile.row_end; ++i) {
+          for (size_t j = tile.col_begin;
+               j < std::min(tile.col_end, i); ++j) {
+            ++covered[i * n + j];
+          }
+        }
+      }
+      size_t expected = n > 1 ? n * (n - 1) / 2 : 0;
+      EXPECT_EQ(pair_count_sum, expected)
+          << "n " << n << " shape " << shape.rows << "x" << shape.cols;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(covered[i * n + j], j < i ? 1 : 0)
+              << "pair (" << i << ", " << j << ") n " << n;
+        }
+      }
+    }
+  }
+}
+
+// Reference fill: the plain per-pair scalar loop the kernels replace.
+SimilarityMatrix ReferenceFill(const EncodedProfileTable& enc,
+                               const ProfileSimilarity& ps,
+                               const ValueFrequencyTable& freqs) {
+  SimilarityMatrix out(enc.num_rows());
+  for (size_t i = 0; i < enc.num_rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      out.Set(i, j, ps.Compute(enc, i, j, freqs));
+    }
+  }
+  return out;
+}
+
+void ExpectBitwiseEqual(const SimilarityMatrix& got,
+                        const SimilarityMatrix& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(got.Get(i, j), want.Get(i, j))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(PsKernelsTest, FillPairwiseMatchesScalarReference) {
+  OwnerDataset ds = MakeDataset(311, 140);
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, ds.strangers);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+
+  SimilarityMatrix want = ReferenceFill(enc, ps, freqs);
+  SimilarityMatrix got(enc.num_rows());
+  ps_kernels::FillStats stats =
+      ps_kernels::FillPairwise(enc, ps, freqs, nullptr, &got);
+  EXPECT_EQ(stats.dispatch, ps_kernels::ActiveDispatch());
+  EXPECT_GT(stats.tiles, 0u);
+  EXPECT_FALSE(stats.parallel);  // no pool given
+  ExpectBitwiseEqual(got, want);
+}
+
+// Degenerate tile geometries hit every boundary case: single-pair
+// tiles, shapes that straddle the diagonal, and row blocks that do not
+// divide the pool size.
+TEST(PsKernelsTest, FillPairwiseMatchesUnderExplicitTileShapes) {
+  OwnerDataset ds = MakeDataset(313, 37);
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, ds.strangers);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+
+  SimilarityMatrix want = ReferenceFill(enc, ps, freqs);
+  for (ps_kernels::TileShape shape :
+       {ps_kernels::TileShape{1, 1}, ps_kernels::TileShape{4, 5},
+        ps_kernels::TileShape{3, 8}, ps_kernels::TileShape{64, 512}}) {
+    SimilarityMatrix got(enc.num_rows());
+    ps_kernels::FillStats stats =
+        ps_kernels::FillPairwise(enc, ps, freqs, nullptr, &got, shape);
+    EXPECT_EQ(stats.tile.rows, shape.rows);
+    EXPECT_EQ(stats.tile.cols, shape.cols);
+    ExpectBitwiseEqual(got, want);
+  }
+}
+
+TEST(PsKernelsTest, FillPairwiseAcrossThreadsMatchesSerial) {
+  OwnerDataset ds = MakeDataset(317, 120);
+  EncodedProfileTable enc =
+      EncodedProfileTable::Build(ds.profiles, ds.strangers);
+  ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+  auto ps = ProfileSimilarity::Create(ds.profiles.schema()).value();
+
+  SimilarityMatrix serial(enc.num_rows());
+  ps_kernels::FillPairwise(enc, ps, freqs, nullptr, &serial,
+                           ps_kernels::TileShape{8, 16});
+  ThreadPool pool(4);
+  SimilarityMatrix threaded(enc.num_rows());
+  ps_kernels::FillPairwise(enc, ps, freqs, &pool, &threaded,
+                           ps_kernels::TileShape{8, 16});
+  ExpectBitwiseEqual(threaded, serial);
+}
+
+TEST(PsKernelsTest, EmptyAndSingletonPools) {
+  ProfileTable table = TestPopulation();
+  auto ps = ProfileSimilarity::Create(table.schema()).value();
+  for (std::vector<UserId> users :
+       {std::vector<UserId>{}, std::vector<UserId>{2}}) {
+    EncodedProfileTable enc = EncodedProfileTable::Build(table, users);
+    ValueFrequencyTable freqs = ValueFrequencyTable::Build(enc);
+    SimilarityMatrix out(enc.num_rows());
+    ps_kernels::FillStats stats =
+        ps_kernels::FillPairwise(enc, ps, freqs, nullptr, &out);
+    EXPECT_EQ(stats.tiles, 0u) << users.size() << " users";
+  }
+}
+
+TEST(PsKernelsTest, DefaultTileShapeIsSane) {
+  for (size_t attrs : {size_t{1}, size_t{3}, size_t{40}, size_t{5000}}) {
+    ps_kernels::TileShape shape = ps_kernels::DefaultTileShape(attrs);
+    EXPECT_GT(shape.rows, 0u) << attrs;
+    EXPECT_GE(shape.cols, 32u) << attrs;
+    EXPECT_LE(shape.cols, 512u) << attrs;
+  }
+}
+
+}  // namespace
+}  // namespace sight

@@ -12,6 +12,9 @@
 #   --asan / --ubsan / --tsan
 #                sanitizer builds; tsan runs the threading-labeled
 #                determinism tests, asan/ubsan run the full suite
+#   --nosimd     build with -DSIGHT_SIMD=OFF and run the full ctest
+#                suite, so the portable scalar PS kernels stay a
+#                first-class target
 #
 # With no flags: --build --lint (the fast local gate).
 # CI (.github/workflows/ci.yml) fans the same stages out as matrix jobs.
@@ -29,7 +32,7 @@ STRICT_TOOLS="${CHECK_STRICT_TOOLS:-0}"
 cd "$REPO_ROOT"
 
 run_build=0 run_lint=0 run_tidy=0 run_format=0
-run_asan=0 run_ubsan=0 run_tsan=0
+run_asan=0 run_ubsan=0 run_tsan=0 run_nosimd=0
 
 if [[ $# -eq 0 ]]; then
   run_build=1 run_lint=1
@@ -43,12 +46,13 @@ for arg in "$@"; do
     --asan)   run_asan=1 ;;
     --ubsan)  run_ubsan=1 ;;
     --tsan)   run_tsan=1 ;;
+    --nosimd) run_nosimd=1 ;;
     --sanitize=address)   run_asan=1 ;;
     --sanitize=undefined) run_ubsan=1 ;;
     --sanitize=thread)    run_tsan=1 ;;
     --all) run_build=1 run_lint=1 run_tidy=1 run_format=1
-           run_asan=1 run_ubsan=1 run_tsan=1 ;;
-    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+           run_asan=1 run_ubsan=1 run_tsan=1 run_nosimd=1 ;;
+    -h|--help) sed -n '2,23p' "$0"; exit 0 ;;
     *) echo "check.sh: unknown flag '$arg' (see --help)" >&2; exit 2 ;;
   esac
 done
@@ -114,6 +118,12 @@ if [[ $run_ubsan -eq 1 ]]; then
   step "UndefinedBehaviorSanitizer build + full ctest"
   configure_and_build build-ubsan -DSIGHT_SANITIZE=undefined
   (cd build-ubsan && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ $run_nosimd -eq 1 ]]; then
+  step "SIGHT_SIMD=OFF build + full ctest (scalar kernels)"
+  configure_and_build build-nosimd -DSIGHT_SIMD=OFF
+  (cd build-nosimd && ctest --output-on-failure -j "$JOBS")
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
