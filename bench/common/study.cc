@@ -52,6 +52,8 @@ OwnerRunResult RunOwner(const StudyConfig& config, const OwnerStudy& owner,
   engine_config.learner.confidence = config.confidence_override >= 0.0
                                          ? config.confidence_override
                                          : owner.attitude.confidence;
+  engine_config.learner.count_all_unstabilized =
+      config.count_all_unstabilized;
 
   auto engine = RiskEngine::Create(engine_config);
   SIGHT_CHECK(engine.ok());

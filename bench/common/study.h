@@ -42,6 +42,11 @@ struct StudyConfig {
   /// Use the paper's Table-I attribute weights for Squeezer (the paper
   /// clusters on gender/locale/last name).
   bool paper_attribute_weights = true;
+  /// Count every unstabilized label per round instead of stopping the
+  /// Definition-5 scan at the first one. Benches that report
+  /// unstabilized-label counts (Fig. 6) need the full tally; everything
+  /// else keeps the cheaper early-exit scan.
+  bool count_all_unstabilized = false;
 };
 
 /// One owner's full study data.

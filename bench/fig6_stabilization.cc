@@ -6,6 +6,7 @@
 // the network-only pools (NSP).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common/study.h"
@@ -16,13 +17,21 @@ namespace {
 
 constexpr size_t kMaxRound = 6;
 
-// Mean unstabilized-label count per round, averaged over pools.
-std::vector<double> MeanUnstabilizedByRound(
-    const sight::bench::StudyConfig& config) {
+// Per-round aggregates over all pools of a study run.
+struct RoundSeries {
+  std::vector<double> mean_unstabilized;
+  /// Which solver the rounds actually ran (from RoundRecord::solver),
+  /// e.g. "gs:40 cg:7" when kAuto handed over mid-study.
+  std::vector<std::string> solver_mix;
+};
+
+RoundSeries UnstabilizedByRound(const sight::bench::StudyConfig& config) {
   using namespace sight;
   auto study = bench::GenerateStudy(config);
   std::vector<double> sums(kMaxRound + 1, 0.0);
   std::vector<size_t> counts(kMaxRound + 1, 0);
+  std::vector<size_t> gs(kMaxRound + 1, 0);
+  std::vector<size_t> cg(kMaxRound + 1, 0);
   auto results =
       bench::RunStudy(config, study, config.seed ^ 0xf16bad6eULL);
   for (const bench::OwnerRunResult& result : results) {
@@ -30,15 +39,26 @@ std::vector<double> MeanUnstabilizedByRound(
       if (r.round > kMaxRound) continue;
       sums[r.round] += static_cast<double>(r.unstabilized);
       ++counts[r.round];
+      if (r.solver == "gauss-seidel") ++gs[r.round];
+      if (r.solver == "conjugate-gradient") ++cg[r.round];
     }
   }
-  std::vector<double> means(kMaxRound + 1, 0.0);
+  RoundSeries series;
+  series.mean_unstabilized.assign(kMaxRound + 1, 0.0);
+  series.solver_mix.assign(kMaxRound + 1, "-");
   for (size_t round = 1; round <= kMaxRound; ++round) {
-    if (counts[round] > 0) {
-      means[round] = sums[round] / static_cast<double>(counts[round]);
+    if (counts[round] == 0) continue;
+    series.mean_unstabilized[round] =
+        sums[round] / static_cast<double>(counts[round]);
+    std::string mix;
+    if (gs[round] > 0) mix = StrFormat("gs:%zu", gs[round]);
+    if (cg[round] > 0) {
+      if (!mix.empty()) mix += " ";
+      mix += StrFormat("cg:%zu", cg[round]);
     }
+    if (!mix.empty()) series.solver_mix[round] = mix;
   }
-  return means;
+  return series;
 }
 
 }  // namespace
@@ -53,19 +73,27 @@ int main(int argc, char** argv) {
               config.num_owners, config.num_strangers,
               static_cast<unsigned long long>(config.seed));
 
+  // This is the one bench that charts unstabilized-label counts, so it
+  // opts out of the learner's early-exit Definition-5 scan.
+  config.count_all_unstabilized = true;
   bench::StudyConfig npp = config;
   npp.strategy = PoolStrategy::kNetworkAndProfile;
   bench::StudyConfig nsp = config;
   nsp.strategy = PoolStrategy::kNetworkOnly;
 
-  std::vector<double> npp_unstable = MeanUnstabilizedByRound(npp);
-  std::vector<double> nsp_unstable = MeanUnstabilizedByRound(nsp);
+  RoundSeries npp_series = UnstabilizedByRound(npp);
+  RoundSeries nsp_series = UnstabilizedByRound(nsp);
+  const std::vector<double>& npp_unstable = npp_series.mean_unstabilized;
+  const std::vector<double>& nsp_unstable = nsp_series.mean_unstabilized;
 
-  TablePrinter table({"round", "NPP unstabilized", "NSP unstabilized"});
+  TablePrinter table({"round", "NPP unstabilized", "NSP unstabilized",
+                      "NPP solver", "NSP solver"});
   for (size_t round = 2; round <= kMaxRound; ++round) {
     table.AddRow({StrFormat("%zu", round),
                   FormatDouble(npp_unstable[round], 2),
-                  FormatDouble(nsp_unstable[round], 2)});
+                  FormatDouble(nsp_unstable[round], 2),
+                  npp_series.solver_mix[round],
+                  nsp_series.solver_mix[round]});
   }
   std::fputs(table.ToString().c_str(), stdout);
 

@@ -264,6 +264,114 @@ void BM_HarmonicPredictCgSparsified(benchmark::State& state) {
 }
 BENCHMARK(BM_HarmonicPredictCgSparsified)->Arg(400)->Arg(2000)->Arg(8000);
 
+// Append-only label history shared by the warm/cold chain benches:
+// a 10-label seed round followed by five rounds of 3 labels, matching
+// the ActiveLearner's seed + labels_per_round cadence.
+std::vector<LabeledSet> MakeLabelChain(size_t n) {
+  std::vector<LabeledSet> chain;
+  LabeledSet current;
+  for (size_t r = 0; r < 6; ++r) {
+    size_t add = r == 0 ? 10 : 3;
+    for (size_t k = 0; k < add; ++k) {
+      size_t idx = current.size() * 7 % n;
+      current.Add(idx, 1.0 + static_cast<double>(idx % 3));
+    }
+    chain.push_back(current);
+  }
+  return chain;
+}
+
+// One HarmonicSolveState carried through the whole label chain: each
+// round pays only its own incremental solve.
+void BM_HarmonicWarmChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix m = MakeRandomGraph(n);
+  m.SparsifyTopK(8);
+  m.Compact();
+  std::vector<LabeledSet> chain = MakeLabelChain(n);
+  auto classifier =
+      HarmonicFunctionClassifier::Create(HarmonicConfig{}).value();
+  for (auto _ : state) {
+    std::unique_ptr<ClassifierState> solve_state = classifier.MakeState();
+    for (const LabeledSet& labeled : chain) {
+      auto f =
+          classifier.PredictWithState(m, labeled, solve_state.get(), nullptr);
+      benchmark::DoNotOptimize(f);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(chain.size()));
+}
+BENCHMARK(BM_HarmonicWarmChain)->Arg(400)->Arg(2000);
+
+// The stateless equivalent: every round replays its full label prefix
+// from a fresh state. The ratio to BM_HarmonicWarmChain is the cost of
+// re-solving history each round.
+void BM_HarmonicColdReplayChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix m = MakeRandomGraph(n);
+  m.SparsifyTopK(8);
+  m.Compact();
+  std::vector<LabeledSet> chain = MakeLabelChain(n);
+  auto classifier =
+      HarmonicFunctionClassifier::Create(HarmonicConfig{}).value();
+  for (auto _ : state) {
+    for (size_t k = 0; k < chain.size(); ++k) {
+      std::unique_ptr<ClassifierState> replay = classifier.MakeState();
+      for (size_t q = 0; q <= k; ++q) {
+        auto f =
+            classifier.PredictWithState(m, chain[q], replay.get(), nullptr);
+        benchmark::DoNotOptimize(f);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(chain.size()));
+}
+BENCHMARK(BM_HarmonicColdReplayChain)->Arg(400)->Arg(2000);
+
+// Full CSR rebuild from the packed store (the BuildCsr linear walk).
+void BM_SimilarityCompact(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix base = MakeRandomGraph(n);
+  for (auto _ : state) {
+    SimilarityMatrix m = base;
+    m.Compact();
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * (n + 1) / 2));
+}
+BENCHMARK(BM_SimilarityCompact)->Arg(400)->Arg(2000);
+
+// Appending a few strangers to an already-compacted pool and merging
+// the staged rows, versus the full rebuild above. Both benches copy the
+// base matrix per iteration, so the delta isolates the compact path.
+void BM_SimilarityMergeCompact(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SimilarityMatrix base = MakeRandomGraph(n);
+  base.Compact();
+  Rng rng(99);
+  std::vector<std::pair<size_t, double>> staged_edges;
+  for (size_t k = 0; k < 3 * 8; ++k) {
+    staged_edges.emplace_back(
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1)),
+        rng.UniformDouble(0.1, 1.0));
+  }
+  for (auto _ : state) {
+    SimilarityMatrix m = base;
+    m.AppendRows(3);
+    for (size_t k = 0; k < staged_edges.size(); ++k) {
+      m.Set(n + k % 3, staged_edges[k].first, staged_edges[k].second);
+    }
+    m.MergeCompact();
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * (n + 1) / 2));
+}
+BENCHMARK(BM_SimilarityMergeCompact)->Arg(400)->Arg(2000);
+
 void BM_PoolBuild(benchmark::State& state) {
   sim::OwnerDataset ds = MakeDataset(static_cast<size_t>(state.range(0)));
   PoolBuilderConfig config;

@@ -38,7 +38,7 @@ Result<PoolLearner> PoolLearner::Create(
     std::vector<double> display_similarity,
     std::vector<double> display_benefit, const ActiveLearnerConfig& config,
     const GraphClassifier* classifier, const Sampler* sampler,
-    const KnownLabels* known_labels) {
+    const KnownLabels* known_labels, const KnownLabels* prior_scores) {
   SIGHT_RETURN_IF_ERROR(config.Validate());
   if (pool.members.empty()) {
     return Status::InvalidArgument("pool has no members");
@@ -82,6 +82,28 @@ Result<PoolLearner> PoolLearner::Create(
       ++learner.seeded_count_;
     }
   }
+  if (prior_scores != nullptr) {
+    // Previous-tick predicted scores seed the first solve's starting
+    // vector: found members keep their old score, the rest start at the
+    // mean of the found scores (the same role the label mean plays on a
+    // cold start). Only built when at least one member carries over.
+    double sum = 0.0;
+    size_t found = 0;
+    for (UserId member : learner.members_) {
+      auto it = prior_scores->find(member);
+      if (it == prior_scores->end()) continue;
+      sum += it->second;
+      ++found;
+    }
+    if (found > 0) {
+      double mean = sum / static_cast<double>(found);
+      learner.seed_f_.assign(learner.members_.size(), mean);
+      for (size_t i = 0; i < learner.members_.size(); ++i) {
+        auto it = prior_scores->find(learner.members_[i]);
+        if (it != prior_scores->end()) learner.seed_f_[i] = it->second;
+      }
+    }
+  }
   return learner;
 }
 
@@ -99,8 +121,49 @@ PoolLearner::PoolLearner(const StrangerPool& pool, SimilarityMatrix weights,
       predictions_(pool.members.size(), 0.0) {}
 
 Status PoolLearner::Repredict() {
-  SIGHT_ASSIGN_OR_RETURN(std::vector<double> next,
-                         classifier_->Predict(weights_, labeled_));
+  // Every Repredict appends one step to the canonical solve chain; both
+  // modes below compute exactly that chain's latest iterate, so flipping
+  // warm_start never changes a prediction (DESIGN.md §12).
+  chain_sizes_.push_back(labeled_.size());
+  std::vector<double> next;
+  if (config_.warm_start) {
+    if (!state_created_) {
+      solve_state_ = classifier_->MakeState();
+      state_created_ = true;
+      if (solve_state_ != nullptr && !seed_f_.empty()) {
+        solve_state_->SeedSolution(seed_f_);
+      }
+    }
+    SIGHT_ASSIGN_OR_RETURN(
+        next, classifier_->PredictWithState(weights_, labeled_,
+                                            solve_state_.get(),
+                                            &last_solve_));
+  } else {
+    // Cold path: replay the whole chain from scratch through a throwaway
+    // state. Stateless classifiers (MakeState() == nullptr) have no
+    // chain — a single predict is already the cold solve.
+    std::unique_ptr<ClassifierState> replay = classifier_->MakeState();
+    if (replay == nullptr) {
+      SIGHT_ASSIGN_OR_RETURN(
+          next, classifier_->PredictWithState(weights_, labeled_, nullptr,
+                                              &last_solve_));
+    } else {
+      if (!seed_f_.empty()) replay->SeedSolution(seed_f_);
+      for (size_t step_size : chain_sizes_) {
+        LabeledSet prefix;
+        prefix.indices.assign(labeled_.indices.begin(),
+                              labeled_.indices.begin() +
+                                  static_cast<ptrdiff_t>(step_size));
+        prefix.values.assign(labeled_.values.begin(),
+                             labeled_.values.begin() +
+                                 static_cast<ptrdiff_t>(step_size));
+        SIGHT_ASSIGN_OR_RETURN(
+            next, classifier_->PredictWithState(weights_, prefix,
+                                                replay.get(),
+                                                &last_solve_));
+      }
+    }
+  }
   predictions_ = std::move(next);
   has_predictions_ = true;
   return Status::OK();
@@ -179,14 +242,21 @@ Result<RoundRecord> PoolLearner::RunRound(LabelOracle* oracle, Rng* rng) {
   std::vector<double> previous = predictions_;
   bool had_predictions = has_predictions_;
   SIGHT_RETURN_IF_ERROR(Repredict());
+  record.solver = last_solve_.solver;
+  record.solve_iterations = last_solve_.iterations;
 
   // 5. Stabilization check (Definition 5) over still-unlabeled members.
+  //    The stop decision only needs "did anything move" — the scan exits
+  //    at the first unstable member unless the exact count was requested.
   double tolerance = config_.StabilizationTolerance();
   size_t unstable = 0;
   if (had_predictions) {
     for (size_t i = 0; i < members_.size(); ++i) {
       if (is_labeled_[i]) continue;
-      if (std::fabs(predictions_[i] - previous[i]) >= tolerance) ++unstable;
+      if (std::fabs(predictions_[i] - previous[i]) >= tolerance) {
+        ++unstable;
+        if (!config_.count_all_unstabilized) break;
+      }
     }
     record.unstabilized = unstable;
     record.stabilized = unstable == 0;
@@ -239,7 +309,8 @@ Result<ActiveLearner> ActiveLearner::Create(
     const PoolSet& pools, const ProfileTable& profiles,
     std::vector<double> display_benefits, ActiveLearnerConfig config,
     const GraphClassifier* classifier, const Sampler* sampler,
-    const PoolLearner::KnownLabels* known_labels) {
+    const PoolLearner::KnownLabels* known_labels,
+    const PoolLearner::KnownLabels* prior_scores) {
   SIGHT_RETURN_IF_ERROR(config.Validate());
   if (display_benefits.size() != pools.strangers.size()) {
     return Status::InvalidArgument(
@@ -329,7 +400,8 @@ Result<ActiveLearner> ActiveLearner::Create(
   ParallelFor(config.thread_pool, num_pools, [&](size_t p) {
     created[p].emplace(PoolLearner::Create(
         pools.pools[p], std::move(weights[p]), std::move(sims[p]),
-        std::move(bens[p]), config, classifier, sampler, known_labels));
+        std::move(bens[p]), config, classifier, sampler, known_labels,
+        prior_scores));
   });
   for (size_t p = 0; p < num_pools; ++p) {
     if (!created[p]->ok()) return created[p]->status();

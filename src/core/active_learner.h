@@ -24,6 +24,8 @@
 #define SIGHT_CORE_ACTIVE_LEARNER_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +71,18 @@ struct ActiveLearnerConfig {
   /// Keep only the top-k profile-similarity edges per pool member when
   /// building the classifier graph; 0 = dense.
   size_t sparsify_top_k = 0;
+  /// Carry the classifier's solve state across rounds so each re-solve
+  /// starts from the previous round's converged scores (warm start)
+  /// instead of replaying the label history from scratch. Predictions
+  /// are bitwise-identical either way — see DESIGN.md §12 — so this is
+  /// purely a per-round cost knob; false forces the cold replay (used by
+  /// the equivalence tests and the round_solve bench).
+  bool warm_start = true;
+  /// When false (default) the Definition-5 stabilization scan stops at
+  /// the first still-unlabeled member that moved >= tolerance, so
+  /// RoundRecord::unstabilized is 0 or 1 on unstable rounds. fig6-style
+  /// consumers that need the exact count set this to true.
+  bool count_all_unstabilized = false;
   /// Optional worker pool (non-owning; must outlive the learner) for the
   /// O(n^2) similarity-matrix construction and the independent per-pool
   /// learner setup in ActiveLearner::Create. The learning rounds
@@ -95,9 +109,17 @@ struct RoundRecord {
   /// previous prediction to validate).
   bool rmse_valid = false;
   double rmse = 0.0;
-  /// Strangers whose continuous prediction moved >= tolerance.
+  /// Strangers whose continuous prediction moved >= tolerance. With the
+  /// default early-exit scan (ActiveLearnerConfig::count_all_unstabilized
+  /// == false) this is 0 or 1; the exact count needs the flag.
   size_t unstabilized = 0;
   bool stabilized = false;
+  /// Solver that produced this round's predictions ("gauss-seidel",
+  /// "conjugate-gradient", or the classifier name) — kAuto's per-round
+  /// choice is no longer hidden.
+  std::string solver;
+  /// Sweeps/iterations of this round's solve.
+  size_t solve_iterations = 0;
 };
 
 enum class PoolOutcome : uint8_t {
@@ -123,7 +145,10 @@ class PoolLearner {
   /// `display_similarity` / `display_benefit` are parallel to
   /// `pool.members` and are surfaced to the oracle with each query.
   /// Members found in `known_labels` start out owner-labeled, so the
-  /// oracle is never asked about them again.
+  /// oracle is never asked about them again. `prior_scores` (optional)
+  /// are continuous predicted scores from an earlier assessment (crawler
+  /// tick); members found there seed the first solve's starting vector,
+  /// warm-starting across ticks without constraining the labeled set.
   [[nodiscard]]
   static Result<PoolLearner> Create(const StrangerPool& pool,
                                     SimilarityMatrix weights,
@@ -132,7 +157,8 @@ class PoolLearner {
                                     const ActiveLearnerConfig& config,
                                     const GraphClassifier* classifier,
                                     const Sampler* sampler,
-                                    const KnownLabels* known_labels = nullptr);
+                                    const KnownLabels* known_labels = nullptr,
+                                    const KnownLabels* prior_scores = nullptr);
 
   /// Runs one round; no-op error if already finished.
   [[nodiscard]] Result<RoundRecord> RunRound(LabelOracle* oracle, Rng* rng);
@@ -188,6 +214,19 @@ class PoolLearner {
   std::vector<double> predictions_;
   bool has_predictions_ = false;
 
+  // Incremental solve bookkeeping. `chain_sizes_` records the labeled-set
+  // size at every Repredict() — the canonical solve chain. Warm mode
+  // carries `solve_state_` across rounds and solves the latest step only;
+  // cold mode (warm_start == false) replays every chain step from a
+  // fresh state, which is bitwise-identical by construction (DESIGN.md
+  // §12). `seed_f_` is the optional cross-tick starting vector; both
+  // modes apply it, keeping them comparable.
+  std::unique_ptr<ClassifierState> solve_state_;
+  bool state_created_ = false;
+  std::vector<size_t> chain_sizes_;
+  std::vector<double> seed_f_;
+  SolveStats last_solve_;
+
   size_t rounds_run_ = 0;
   size_t consecutive_stable_ = 0;
   bool last_rmse_valid_ = false;
@@ -238,13 +277,16 @@ class ActiveLearner {
  public:
   /// `display_benefits` is parallel to `pools.strangers`.
   /// `classifier` and `sampler` must outlive the learner. Strangers found
-  /// in `known_labels` (optional) start out labeled in their pools.
+  /// in `known_labels` (optional) start out labeled in their pools;
+  /// strangers found in `prior_scores` (optional) seed each pool's first
+  /// solve with the previous tick's predicted scores.
   [[nodiscard]]
   static Result<ActiveLearner> Create(
       const PoolSet& pools, const ProfileTable& profiles,
       std::vector<double> display_benefits, ActiveLearnerConfig config,
       const GraphClassifier* classifier, const Sampler* sampler,
-      const PoolLearner::KnownLabels* known_labels = nullptr);
+      const PoolLearner::KnownLabels* known_labels = nullptr,
+      const PoolLearner::KnownLabels* prior_scores = nullptr);
 
   /// Runs every pool to completion.
   [[nodiscard]] Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);

@@ -79,7 +79,8 @@ Result<RiskReport> RiskEngine::AssessStrangers(
     const SocialGraph& graph, const ProfileTable& profiles,
     const VisibilityTable& visibility, UserId owner,
     std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
-    const PoolLearner::KnownLabels* known_labels) const {
+    const PoolLearner::KnownLabels* known_labels,
+    const PoolLearner::KnownLabels* prior_scores) const {
   PoolBuilderConfig pool_config = config_.pools;
   pool_config.thread_pool = effective_pool();
   SIGHT_ASSIGN_OR_RETURN(PoolBuilder builder,
@@ -99,7 +100,7 @@ Result<RiskReport> RiskEngine::AssessStrangers(
       ActiveLearner learner,
       ActiveLearner::Create(pools, profiles, std::move(benefits),
                             learner_config, classifier_.get(),
-                            sampler_.get(), known_labels));
+                            sampler_.get(), known_labels, prior_scores));
 
   RiskReport report;
   SIGHT_ASSIGN_OR_RETURN(report.assessment, learner.Run(oracle, rng));

@@ -103,14 +103,17 @@ class RiskEngine {
 
   /// Variant over an explicit stranger set (incremental-crawler flow).
   /// Strangers in `known_labels` (optional) start out owner-labeled; the
-  /// oracle is only queried for the rest. RiskSession manages that map
-  /// automatically.
+  /// oracle is only queried for the rest. Strangers in `prior_scores`
+  /// (optional) seed the pools' first solves with the previous tick's
+  /// predicted scores (warm start across ticks). RiskSession manages
+  /// both maps automatically.
   [[nodiscard]]
   Result<RiskReport> AssessStrangers(
       const SocialGraph& graph, const ProfileTable& profiles,
       const VisibilityTable& visibility, UserId owner,
       std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
-      const PoolLearner::KnownLabels* known_labels = nullptr) const;
+      const PoolLearner::KnownLabels* known_labels = nullptr,
+      const PoolLearner::KnownLabels* prior_scores = nullptr) const;
 
   const RiskEngineConfig& config() const { return config_; }
 

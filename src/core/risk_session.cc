@@ -93,9 +93,19 @@ Result<RiskReport> RiskSession::Assess(LabelOracle* oracle, Rng* rng) {
     return Status::InvalidArgument("oracle and rng are required");
   }
   RecordingOracle recording(oracle, &known_labels_);
-  return engine_.AssessStrangers(*graph_, *profiles_, *visibility_, owner_,
-                                 strangers_, &recording, rng,
-                                 &known_labels_);
+  SIGHT_ASSIGN_OR_RETURN(
+      RiskReport report,
+      engine_.AssessStrangers(*graph_, *profiles_, *visibility_, owner_,
+                              strangers_, &recording, rng, &known_labels_,
+                              last_scores_.empty() ? nullptr
+                                                   : &last_scores_));
+  // Remember this tick's converged scores so the next Assess seeds its
+  // solves from them instead of the label mean.
+  last_scores_.clear();
+  for (const StrangerAssessment& sa : report.assessment.strangers) {
+    last_scores_[sa.stranger] = sa.predicted_score;
+  }
+  return report;
 }
 
 }  // namespace sight

@@ -93,6 +93,9 @@ class RiskSession {
   std::vector<UserId> strangers_;  // discovery order, duplicate-free
   std::unordered_set<UserId> discovered_;
   PoolLearner::KnownLabels known_labels_;
+  /// Predicted continuous scores from the previous Assess, keyed by
+  /// stranger — the warm-start seed the next tick's pools solve from.
+  PoolLearner::KnownLabels last_scores_;
 };
 
 }  // namespace sight

@@ -6,6 +6,24 @@
 #include "util/string_util.h"
 
 namespace sight {
+
+Result<std::vector<double>> GraphClassifier::PredictWithState(
+    const SimilarityMatrix& weights, const LabeledSet& labeled,
+    ClassifierState* state, SolveStats* stats) const {
+  (void)state;  // Stateless by default: every predict is a cold solve.
+  if (stats != nullptr) {
+    stats->solver = name();
+    stats->iterations = 0;
+    stats->warm = false;
+    stats->residual = 0.0;
+  }
+  return Predict(weights, labeled);
+}
+
+std::unique_ptr<ClassifierState> GraphClassifier::MakeState() const {
+  return nullptr;
+}
+
 namespace internal {
 
 Status ValidateLabeledSet(size_t n, const LabeledSet& labeled) {

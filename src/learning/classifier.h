@@ -10,6 +10,7 @@
 #ifndef SIGHT_LEARNING_CLASSIFIER_H_
 #define SIGHT_LEARNING_CLASSIFIER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,37 @@ struct LabeledSet {
   }
 };
 
+/// Opaque per-pool solver state carried across successive predictions of
+/// the same pool (active-learning rounds, crawler ticks). Created by
+/// GraphClassifier::MakeState(), threaded through PredictWithState().
+class ClassifierState {
+ public:
+  virtual ~ClassifierState() = default;
+
+  /// Seeds the next solve's starting vector (one value per pool member)
+  /// without recording any labeled-set history — the cross-tick warm
+  /// start of the RiskSession crawler flow. Stateless classifiers ignore
+  /// it.
+  virtual void SeedSolution(std::vector<double> f) { (void)f; }
+};
+
+/// What a single predict/solve actually did — surfaced per round in
+/// RoundRecord and by the perf benches.
+struct SolveStats {
+  /// Solver that ran ("gauss-seidel", "conjugate-gradient"; the
+  /// classifier name for classifiers without an inner solver choice).
+  std::string solver;
+  /// Sweeps (Gauss-Seidel) or iterations (conjugate gradient) of the
+  /// solve; 0 for non-iterative classifiers.
+  size_t iterations = 0;
+  /// Whether the solve continued from a prior solution instead of the
+  /// label-mean cold start.
+  bool warm = false;
+  /// Final residual: last sweep's max score delta (Gauss-Seidel) or
+  /// ||r|| (conjugate gradient).
+  double residual = 0.0;
+};
+
 /// Predicts continuous label scores for all instances of a pool.
 class GraphClassifier {
  public:
@@ -42,6 +74,22 @@ class GraphClassifier {
   [[nodiscard]]
   virtual Result<std::vector<double>> Predict(
       const SimilarityMatrix& weights, const LabeledSet& labeled) const = 0;
+
+  /// State-carrying variant for incremental re-solves. `state` (from
+  /// MakeState()) holds the previous solution and labeled-set
+  /// fingerprint; the solve continues from it and updates it. The
+  /// labeled set must extend the one the state last saw (append-only);
+  /// anything else is an InvalidArgument. `state == nullptr` is the cold
+  /// case and behaves exactly like Predict(). The default implementation
+  /// ignores the state and forwards to Predict().
+  [[nodiscard]]
+  virtual Result<std::vector<double>> PredictWithState(
+      const SimilarityMatrix& weights, const LabeledSet& labeled,
+      ClassifierState* state, SolveStats* stats = nullptr) const;
+
+  /// Fresh empty state for PredictWithState(), or nullptr when the
+  /// classifier keeps no state between predictions (the default).
+  [[nodiscard]] virtual std::unique_ptr<ClassifierState> MakeState() const;
 
   /// Human-readable name for reports ("harmonic", "knn", ...).
   virtual std::string name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "util/logging.h"
@@ -33,7 +34,34 @@ class NeighborView {
   std::vector<Neighbor> neighbors_;
 };
 
+// The new labeled set must extend the state's fingerprint append-only:
+// same indices with bit-identical values as a prefix. Anything else means
+// the caller is reusing state across unrelated solves, where a warm start
+// would silently change the chained-solve semantics.
+Status ValidateStateExtends(const LabeledSet& prev, const LabeledSet& now) {
+  if (prev.size() > now.size()) {
+    return Status::InvalidArgument(
+        "labeled set shrank since the last solve");
+  }
+  for (size_t i = 0; i < prev.size(); ++i) {
+    if (prev.indices[i] != now.indices[i] ||
+        prev.values[i] != now.values[i]) {
+      return Status::InvalidArgument(
+          StrFormat("labeled entry %zu changed since the last solve "
+                    "(incremental state requires append-only labels)",
+                    i));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+void HarmonicSolveState::SeedSolution(std::vector<double> f) {
+  f_ = std::move(f);
+  labeled_ = LabeledSet{};
+  has_solution_ = true;
+}
 
 Result<HarmonicFunctionClassifier> HarmonicFunctionClassifier::Create(
     HarmonicConfig config) {
@@ -48,6 +76,37 @@ Result<HarmonicFunctionClassifier> HarmonicFunctionClassifier::Create(
 
 Result<std::vector<double>> HarmonicFunctionClassifier::Predict(
     const SimilarityMatrix& weights, const LabeledSet& labeled) const {
+  SolveStats stats;
+  return Solve(weights, labeled, nullptr, &stats);
+}
+
+Result<std::vector<double>> HarmonicFunctionClassifier::PredictWithState(
+    const SimilarityMatrix& weights, const LabeledSet& labeled,
+    ClassifierState* state, SolveStats* stats) const {
+  HarmonicSolveState* harmonic_state = nullptr;
+  if (state != nullptr) {
+    harmonic_state = dynamic_cast<HarmonicSolveState*>(state);
+    if (harmonic_state == nullptr) {
+      return Status::InvalidArgument(
+          "state was not created by HarmonicFunctionClassifier::MakeState");
+    }
+  }
+  SolveStats local_stats;
+  SIGHT_ASSIGN_OR_RETURN(
+      std::vector<double> f,
+      Solve(weights, labeled, harmonic_state, &local_stats));
+  if (stats != nullptr) *stats = local_stats;
+  return f;
+}
+
+std::unique_ptr<ClassifierState> HarmonicFunctionClassifier::MakeState()
+    const {
+  return std::make_unique<HarmonicSolveState>();
+}
+
+Result<std::vector<double>> HarmonicFunctionClassifier::Solve(
+    const SimilarityMatrix& weights, const LabeledSet& labeled,
+    HarmonicSolveState* state, SolveStats* stats) const {
   size_t n = weights.size();
   SIGHT_RETURN_IF_ERROR(internal::ValidateLabeledSet(n, labeled));
 
@@ -55,8 +114,21 @@ Result<std::vector<double>> HarmonicFunctionClassifier::Predict(
       std::accumulate(labeled.values.begin(), labeled.values.end(), 0.0) /
       static_cast<double>(labeled.size());
 
+  const bool warm = state != nullptr && state->has_solution_;
+  if (warm) {
+    if (state->f_.size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("solve state size %zu != pool size %zu",
+                    state->f_.size(), n));
+    }
+    SIGHT_RETURN_IF_ERROR(ValidateStateExtends(state->labeled_, labeled));
+  }
+
   std::vector<bool> is_labeled(n, false);
-  std::vector<double> f(n, label_mean);
+  // Start vector: the prior solution when warm, the label mean when cold;
+  // labeled nodes clamp to their given values either way.
+  std::vector<double> f =
+      warm ? state->f_ : std::vector<double>(n, label_mean);
   for (size_t i = 0; i < labeled.size(); ++i) {
     is_labeled[labeled.indices[i]] = true;
     f[labeled.indices[i]] = labeled.values[i];
@@ -69,20 +141,33 @@ Result<std::vector<double>> HarmonicFunctionClassifier::Predict(
                  ? HarmonicSolver::kConjugateGradient
                  : HarmonicSolver::kGaussSeidel;
   }
+  stats->warm = warm;
+  std::vector<double> result;
   switch (solver) {
     case HarmonicSolver::kGaussSeidel:
-      return SolveGaussSeidel(weights, is_labeled, std::move(f));
+      result = SolveGaussSeidel(weights, is_labeled, std::move(f),
+                                label_mean, stats);
+      break;
     case HarmonicSolver::kConjugateGradient:
-      return SolveConjugateGradient(weights, is_labeled, std::move(f));
+      result = SolveConjugateGradient(weights, is_labeled, std::move(f),
+                                      label_mean, stats);
+      break;
     case HarmonicSolver::kAuto:
-      break;  // resolved above
+      return Status::Internal("unknown harmonic solver");
   }
-  return Status::Internal("unknown harmonic solver");
+  if (state != nullptr) {
+    state->f_ = result;
+    state->labeled_ = labeled;
+    state->has_solution_ = true;
+    state->total_iterations_ += stats->iterations;
+    state->last_residual_ = stats->residual;
+  }
+  return result;
 }
 
 std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
     const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
-    std::vector<double> f) const {
+    std::vector<double> f, double label_mean, SolveStats* stats) const {
   size_t n = w.size();
   NeighborView adj(w);
   std::vector<size_t> unlabeled;
@@ -94,8 +179,15 @@ std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
     double sum = 0.0;
     for (const Neighbor& nb : adj.Row(u)) sum += nb.weight;
     row_sums[u] = sum;
+    // Isolated nodes take the mean of the current labels. On a cold
+    // start f[u] is already the mean, so this only moves values when a
+    // warm start carried in a stale mean from an earlier labeled set.
+    if (sum <= 0.0) f[u] = label_mean;
   }
 
+  stats->solver = "gauss-seidel";
+  stats->iterations = 0;
+  stats->residual = 0.0;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     double max_delta = 0.0;
     for (size_t u : unlabeled) {
@@ -106,6 +198,8 @@ std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
       max_delta = std::max(max_delta, std::fabs(next - f[u]));
       f[u] = next;
     }
+    ++stats->iterations;
+    stats->residual = max_delta;
     if (max_delta < config_.tolerance) break;
   }
   return f;
@@ -113,7 +207,10 @@ std::vector<double> HarmonicFunctionClassifier::SolveGaussSeidel(
 
 std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
     const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
-    std::vector<double> f) const {
+    std::vector<double> f, double label_mean, SolveStats* stats) const {
+  stats->solver = "conjugate-gradient";
+  stats->iterations = 0;
+  stats->residual = 0.0;
   size_t n = w.size();
   NeighborView adj(w);
   std::vector<size_t> unlabeled;
@@ -135,10 +232,9 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
   // has no labeled attachment (which would otherwise make the Laplacian
   // block singular); such components settle at the initialization mean.
   constexpr double kRidge = 1e-8;
-  const double mean = f[unlabeled[0]];  // unlabeled start at label mean
 
   std::vector<double> diag(m, kRidge);
-  std::vector<double> b(m, kRidge * mean);
+  std::vector<double> b(m, kRidge * label_mean);
   for (size_t a = 0; a < m; ++a) {
     size_t u = unlabeled[a];
     for (const Neighbor& nb : adj.Row(u)) {
@@ -159,7 +255,10 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
     }
   };
 
-  std::vector<double> x(m, mean);
+  // Start from the incoming f (cold: the label mean everywhere; warm: the
+  // prior solution) so the initial residual measures distance from it.
+  std::vector<double> x(m);
+  for (size_t a = 0; a < m; ++a) x[a] = f[unlabeled[a]];
   std::vector<double> ax(m);
   matvec(x, &ax);
   std::vector<double> r(m);
@@ -191,7 +290,9 @@ std::vector<double> HarmonicFunctionClassifier::SolveConjugateGradient(
     double beta = rs_new / rs_old;
     for (size_t a = 0; a < m; ++a) p[a] = r[a] + beta * p[a];
     rs_old = rs_new;
+    ++stats->iterations;
   }
+  stats->residual = std::sqrt(rs_old);
 
   for (size_t a = 0; a < m; ++a) f[unlabeled[a]] = x[a];
   return f;

@@ -22,6 +22,7 @@
 #ifndef SIGHT_LEARNING_HARMONIC_H_
 #define SIGHT_LEARNING_HARMONIC_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,42 @@
 #include "util/status.h"
 
 namespace sight {
+
+/// Persistent solve state for warm-started incremental re-solves across
+/// active-learning rounds (and crawler ticks). Holds the previous
+/// converged solution plus a fingerprint of the labeled set it was
+/// solved against; PredictWithState() seeds the next solve from the
+/// stored vector and requires the new labeled set to extend the
+/// fingerprint append-only (indices and bit-identical values), so the
+/// warm iterate chain is exactly the chain a from-scratch replay of the
+/// label history would produce — see DESIGN.md §12 for why that makes
+/// warm and cold bitwise-equal.
+class HarmonicSolveState final : public ClassifierState {
+ public:
+  /// Installs a starting vector (one value per pool member) without any
+  /// labeled-set history — the cross-tick seed of the RiskSession
+  /// crawler flow. The next solve starts from it and may extend it with
+  /// any labeled set.
+  void SeedSolution(std::vector<double> f) override;
+
+  bool has_solution() const { return has_solution_; }
+  const std::vector<double>& solution() const { return f_; }
+  /// Labeled set of the last completed solve (empty after SeedSolution).
+  const LabeledSet& labeled_fingerprint() const { return labeled_; }
+  /// Sweeps/iterations accumulated across every solve through this
+  /// state.
+  size_t total_iterations() const { return total_iterations_; }
+  double last_residual() const { return last_residual_; }
+
+ private:
+  friend class HarmonicFunctionClassifier;
+
+  std::vector<double> f_;
+  LabeledSet labeled_;
+  bool has_solution_ = false;
+  size_t total_iterations_ = 0;
+  double last_residual_ = 0.0;
+};
 
 enum class HarmonicSolver {
   kGaussSeidel,
@@ -60,6 +97,20 @@ class HarmonicFunctionClassifier : public GraphClassifier {
   Result<std::vector<double>> Predict(const SimilarityMatrix& weights,
                                       const LabeledSet& labeled) const override;
 
+  /// Warm-startable variant: with a HarmonicSolveState carrying a prior
+  /// solution, the solve starts from it (Gauss-Seidel seeds its sweeps
+  /// from the stored f; CG computes the initial residual against it) and
+  /// the state is updated with the converged result. The labeled set
+  /// must extend the state's fingerprint append-only. `state == nullptr`
+  /// is the cold case, identical to Predict(). Passing a state of any
+  /// other classifier is an InvalidArgument.
+  [[nodiscard]]
+  Result<std::vector<double>> PredictWithState(
+      const SimilarityMatrix& weights, const LabeledSet& labeled,
+      ClassifierState* state, SolveStats* stats = nullptr) const override;
+
+  [[nodiscard]] std::unique_ptr<ClassifierState> MakeState() const override;
+
   std::string name() const override { return "harmonic"; }
 
   const HarmonicConfig& config() const { return config_; }
@@ -68,12 +119,22 @@ class HarmonicFunctionClassifier : public GraphClassifier {
   explicit HarmonicFunctionClassifier(HarmonicConfig config)
       : config_(config) {}
 
+  /// Shared predict core: cold when `state` is null or empty, warm
+  /// otherwise. Fills `stats` (never null here) and updates `state`.
+  [[nodiscard]]
+  Result<std::vector<double>> Solve(const SimilarityMatrix& weights,
+                                    const LabeledSet& labeled,
+                                    HarmonicSolveState* state,
+                                    SolveStats* stats) const;
+
   std::vector<double> SolveGaussSeidel(const SimilarityMatrix& w,
                                        const std::vector<bool>& is_labeled,
-                                       std::vector<double> f) const;
+                                       std::vector<double> f,
+                                       double label_mean,
+                                       SolveStats* stats) const;
   std::vector<double> SolveConjugateGradient(
       const SimilarityMatrix& w, const std::vector<bool>& is_labeled,
-      std::vector<double> f) const;
+      std::vector<double> f, double label_mean, SolveStats* stats) const;
 
   HarmonicConfig config_;
 };

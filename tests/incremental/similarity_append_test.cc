@@ -1,0 +1,213 @@
+// SimilarityMatrix append-without-recompact: staged rows/edges overlay
+// the compact view, and MergeCompact() must match a from-scratch
+// Compact() exactly.
+
+#include "learning/similarity_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sight {
+namespace {
+
+SimilarityMatrix RandomGraph(size_t n, uint64_t seed, double density) {
+  SimilarityMatrix m(n);
+  uint64_t state = seed;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (next_unit() < density) m.Set(i, j, 0.1 + next_unit());
+    }
+  }
+  return m;
+}
+
+// Compares the compact views of two matrices row by row.
+void ExpectSameView(const SimilarityMatrix& a, const SimilarityMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_TRUE(a.compacted());
+  ASSERT_TRUE(b.compacted());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::span<const Neighbor> ra = a.Neighbors(i);
+    std::span<const Neighbor> rb = b.Neighbors(i);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << i;
+    for (size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].index, rb[k].index) << "row " << i;
+      EXPECT_EQ(ra[k].weight, rb[k].weight) << "row " << i;
+    }
+  }
+}
+
+TEST(AppendRowsTest, GrowsWithoutDisturbingExistingEntries) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Set(1, 2, 0.7);
+  m.AppendRows(2);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 0.7);
+  EXPECT_DOUBLE_EQ(m.Get(3, 4), 0.0);
+  EXPECT_EQ(m.num_staged_rows(), 0u);  // not compacted: nothing staged
+}
+
+TEST(AppendRowsTest, StagedWritesOverlayTheCompactView) {
+  SimilarityMatrix m(4);
+  m.Set(0, 1, 0.5);
+  m.Set(2, 3, 0.6);
+  m.Compact();
+  size_t base_edges = m.NumEdges();
+
+  m.AppendRows(2);  // rows 4, 5
+  EXPECT_TRUE(m.compacted());
+  EXPECT_EQ(m.num_staged_rows(), 2u);
+  EXPECT_EQ(m.Neighbors(4).size(), 0u);
+
+  m.Set(4, 1, 0.9);  // new-old pair
+  m.Set(4, 5, 0.4);  // new-new pair
+  EXPECT_TRUE(m.compacted());
+  EXPECT_EQ(m.num_staged_edges(), 2u);
+  EXPECT_EQ(m.NumEdges(), base_edges + 2);
+
+  // Both endpoints see the staged edge, rows stay sorted by index.
+  ASSERT_EQ(m.Neighbors(4).size(), 2u);
+  EXPECT_EQ(m.Neighbors(4)[0].index, 1u);
+  EXPECT_EQ(m.Neighbors(4)[1].index, 5u);
+  ASSERT_EQ(m.Neighbors(1).size(), 2u);
+  EXPECT_EQ(m.Neighbors(1)[0].index, 0u);
+  EXPECT_EQ(m.Neighbors(1)[1].index, 4u);
+  ASSERT_EQ(m.Neighbors(5).size(), 1u);
+  EXPECT_EQ(m.Neighbors(5)[0].index, 4u);
+
+  // The dense accessors read the write-through store.
+  EXPECT_DOUBLE_EQ(m.Get(1, 4), 0.9);
+  EXPECT_DOUBLE_EQ(m.RowSum(4), 0.9 + 0.4);
+}
+
+TEST(AppendRowsTest, RestagingAndZeroingKeepCountsConsistent) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Compact();
+  m.AppendRows(1);
+
+  m.Set(3, 0, 0.2);
+  EXPECT_EQ(m.num_staged_edges(), 1u);
+  m.Set(3, 0, 0.8);  // re-stage same pair: update, not a second edge
+  EXPECT_EQ(m.num_staged_edges(), 1u);
+  EXPECT_DOUBLE_EQ(m.Neighbors(3)[0].weight, 0.8);
+  m.Set(3, 0, 0.0);  // zero removes the staged edge
+  EXPECT_EQ(m.num_staged_edges(), 0u);
+  EXPECT_EQ(m.Neighbors(3).size(), 0u);
+  EXPECT_EQ(m.Neighbors(0).size(), 1u);  // only the base edge to 1
+}
+
+TEST(AppendRowsTest, BaseRowPairStillInvalidates) {
+  SimilarityMatrix m(4);
+  m.Set(0, 1, 0.5);
+  m.Compact();
+  m.AppendRows(1);
+  m.Set(2, 3, 0.6);  // both endpoints pre-date the view
+  EXPECT_FALSE(m.compacted());
+  // The write itself landed; a re-Compact sees everything.
+  m.Compact();
+  EXPECT_EQ(m.NumEdges(), 2u);
+}
+
+TEST(MergeCompactTest, MatchesFromScratchCompact) {
+  const size_t base = 40;
+  const size_t extra = 8;
+  SimilarityMatrix staged = RandomGraph(base, 23, 0.2);
+  staged.Compact();
+  staged.AppendRows(extra);
+
+  // Mirror matrix built flat, never staged.
+  SimilarityMatrix flat(base + extra);
+  for (size_t i = 0; i < base; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double w = staged.Get(i, j);
+      if (w > 0.0) flat.Set(i, j, w);
+    }
+  }
+
+  // Stage deterministic pairs touching the appended rows.
+  uint64_t state = 31;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (size_t i = base; i < base + extra; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (next_unit() < 0.3) {
+        double w = 0.1 + next_unit();
+        staged.Set(i, j, w);
+        flat.Set(i, j, w);
+      }
+    }
+  }
+  ASSERT_TRUE(staged.compacted());
+  ASSERT_GT(staged.num_staged_edges(), 0u);
+
+  staged.MergeCompact();
+  EXPECT_EQ(staged.num_staged_rows(), 0u);
+  EXPECT_EQ(staged.num_staged_edges(), 0u);
+  flat.Compact();
+  ExpectSameView(staged, flat);
+}
+
+TEST(MergeCompactTest, CompactOnCompactedMatrixMerges) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.5);
+  m.Compact();
+  m.AppendRows(1);
+  m.Set(3, 1, 0.4);
+  ASSERT_EQ(m.num_staged_rows(), 1u);
+  m.Compact();  // equivalent to MergeCompact() when already compacted
+  EXPECT_EQ(m.num_staged_rows(), 0u);
+  EXPECT_EQ(m.NumEdges(), 2u);
+  ASSERT_EQ(m.Neighbors(1).size(), 2u);
+  EXPECT_EQ(m.Neighbors(1)[1].index, 3u);
+}
+
+TEST(MergeCompactTest, OnUncompactedMatrixJustCompacts) {
+  SimilarityMatrix m(3);
+  m.Set(0, 2, 0.5);
+  m.MergeCompact();
+  EXPECT_TRUE(m.compacted());
+  EXPECT_EQ(m.NumEdges(), 1u);
+}
+
+TEST(MergeCompactTest, RepeatedAppendMergeCyclesStayConsistent) {
+  SimilarityMatrix m = RandomGraph(20, 41, 0.25);
+  m.Compact();
+  uint64_t state = 43;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    size_t old_n = m.size();
+    m.AppendRows(4);
+    for (size_t i = old_n; i < m.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (next_unit() < 0.3) m.Set(i, j, 0.1 + next_unit());
+      }
+    }
+    m.MergeCompact();
+  }
+  SimilarityMatrix flat(m.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double w = m.Get(i, j);
+      if (w > 0.0) flat.Set(i, j, w);
+    }
+  }
+  flat.Compact();
+  ExpectSameView(m, flat);
+}
+
+}  // namespace
+}  // namespace sight

@@ -10,11 +10,14 @@
 #   --format     clang-format --dry-run -Werror over src/ tests/ tools/
 #                bench/ (skipped with a notice if clang-format is missing)
 #   --asan / --ubsan / --tsan
-#                sanitizer builds; tsan runs the threading-labeled
-#                determinism tests, asan/ubsan run the full suite
+#                sanitizer builds; tsan runs the threading- and
+#                incremental-labeled tests (the warm-start solve state
+#                and CSR staging buffers are exactly the kind of
+#                retained mutable state sanitizers catch), asan/ubsan
+#                run the full suite (incremental tests included)
 #   --nosimd     build with -DSIGHT_SIMD=OFF and run the full ctest
-#                suite, so the portable scalar PS kernels stay a
-#                first-class target
+#                suite (incremental tests included), so the portable
+#                scalar PS kernels stay a first-class target
 #
 # With no flags: --build --lint (the fast local gate).
 # CI (.github/workflows/ci.yml) fans the same stages out as matrix jobs.
@@ -127,9 +130,10 @@ if [[ $run_nosimd -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  step "ThreadSanitizer build + threading-labeled ctest"
+  step "ThreadSanitizer build + threading/incremental-labeled ctest"
   configure_and_build build-tsan -DSIGHT_SANITIZE=thread
-  (cd build-tsan && ctest --output-on-failure -L threading -j "$JOBS")
+  (cd build-tsan && \
+   ctest --output-on-failure -L 'threading|incremental' -j "$JOBS")
 fi
 
 step "all requested checks passed"
