@@ -36,8 +36,8 @@ std::vector<OwnerStudy> GenerateStudy(const StudyConfig& config) {
   return study;
 }
 
-OwnerRunResult RunOwner(const StudyConfig& config, const OwnerStudy& owner,
-                        uint64_t run_seed) {
+RiskEngineConfig EngineConfigFor(const StudyConfig& config,
+                                 const OwnerStudy& owner) {
   RiskEngineConfig engine_config;
   engine_config.pools.strategy = config.strategy;
   engine_config.pools.alpha = config.alpha;
@@ -54,18 +54,34 @@ OwnerRunResult RunOwner(const StudyConfig& config, const OwnerStudy& owner,
                                          : owner.attitude.confidence;
   engine_config.learner.count_all_unstabilized =
       config.count_all_unstabilized;
+  return engine_config;
+}
 
-  auto engine = RiskEngine::Create(engine_config);
-  SIGHT_CHECK(engine.ok());
+OwnerRunResult RunOwner(const StudyConfig& config, const OwnerStudy& owner,
+                        uint64_t run_seed) {
+  RiskServiceConfig service_config;
+  service_config.engine = EngineConfigFor(config, owner);
+  service_config.num_shards = 1;
+  auto service = RiskService::Create(std::move(service_config));
+  SIGHT_CHECK(service.ok());
   auto oracle = sim::OwnerModel::Create(owner.attitude, &owner.dataset.profiles,
                                 &owner.dataset.visibility);
   SIGHT_CHECK(oracle.ok());
 
+  OwnerRegistration registration;
+  registration.owner = owner.dataset.owner;
+  registration.graph = &owner.dataset.graph;
+  registration.profiles = &owner.dataset.profiles;
+  registration.visibility = &owner.dataset.visibility;
+  SIGHT_CHECK((*service)->RegisterOwner(registration).ok());
+  SIGHT_CHECK((*service)->DiscoverAllStrangers(owner.dataset.owner).ok());
+
+  // AssessNow over the freshly discovered two-hop set is bitwise-equal
+  // to the legacy per-owner RiskEngine::AssessOwner call, so every
+  // fig/table number is unchanged by the service migration.
   Rng rng(run_seed);
-  auto report = engine->AssessOwner(owner.dataset.graph,
-                                    owner.dataset.profiles,
-                                    owner.dataset.visibility,
-                                    owner.dataset.owner, &*oracle, &rng);
+  auto report =
+      (*service)->AssessNow(owner.dataset.owner, &*oracle, &rng);
   SIGHT_CHECK(report.ok());
 
   OwnerRunResult result;

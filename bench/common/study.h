@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/risk_engine.h"
+#include "service/risk_service.h"
 #include "sim/facebook_generator.h"
 #include "sim/owner_model.h"
 #include "util/random.h"

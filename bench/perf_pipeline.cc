@@ -27,7 +27,7 @@
 // when the pool cannot beat the serial loop (single core, or too little
 // total work), and each threaded point records which mode actually ran;
 // on a single-core host the point is additionally marked skipped. The
-// JSON records hardware_concurrency per build row so the numbers are
+// JSON records hardware_concurrency in every row so the numbers are
 // interpretable.
 //
 // Usage: perf_pipeline [--max-n=8000] [--out=BENCH_pipeline.json]
@@ -550,7 +550,9 @@ bool WriteJson(const std::string& path, const std::vector<HarmonicRow>& solve,
     if (!r.reference_dense_ms) {
       out << ", \"skipped\": \"reference too slow\"";
     }
-    out << ", \"bitwise_equal\": " << (r.bitwise_equal ? "true" : "false")
+    out << ", \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency()
+        << ", \"bitwise_equal\": " << (r.bitwise_equal ? "true" : "false")
         << "}" << (i + 1 < solve.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -565,6 +567,8 @@ bool WriteJson(const std::string& path, const std::vector<HarmonicRow>& solve,
         << ", \"warm_ms\": " << JsonOpt(r.warm_ms)
         << ", \"cold_ms\": " << JsonOpt(r.cold_ms)
         << ", \"warm_speedup\": " << JsonOpt(r.warm_speedup)
+        << ", \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency()
         << ", \"bitwise_equal\": " << (r.bitwise_equal ? "true" : "false")
         << "}" << (i + 1 < round_solve.size() ? "," : "") << "\n";
   }

@@ -9,10 +9,11 @@
 
 #include <cstdio>
 
-#include "core/risk_engine.h"
 #include "io/dataset_io.h"
 #include "sim/facebook_generator.h"
 #include "sim/owner_model.h"
+#include "service/risk_service.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -63,14 +64,16 @@ int main(int argc, char** argv) {
   auto oracle = sim::OwnerModel::Create(attitude, &dataset.profiles,
                                         &dataset.visibility)
                     .value();
-  RiskEngineConfig config;
-  auto engine = RiskEngine::Create(config).value();
+  auto service = RiskService::Create(RiskServiceConfig{}).value();
+  OwnerRegistration registration;
+  registration.owner = dataset.owner;
+  registration.graph = &dataset.graph;
+  registration.profiles = &dataset.profiles;
+  registration.visibility = &dataset.visibility;
+  SIGHT_CHECK(service->RegisterOwner(registration).ok());
+  SIGHT_CHECK(service->DiscoverAllStrangers(dataset.owner).ok());
   Rng rng(17);
-  auto report = engine
-                    .AssessOwner(dataset.graph, dataset.profiles,
-                                 dataset.visibility, dataset.owner, &oracle,
-                                 &rng)
-                    .value();
+  auto report = service->AssessNow(dataset.owner, &oracle, &rng).value();
 
   size_t counts[4] = {0, 0, 0, 0};
   for (const StrangerAssessment& sa : report.assessment.strangers) {

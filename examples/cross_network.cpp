@@ -11,7 +11,8 @@
 
 #include "core/benefit.h"
 #include "core/nsg.h"
-#include "core/risk_engine.h"
+#include "service/risk_service.h"
+#include "util/logging.h"
 #include "sim/facebook_generator.h"
 #include "sim/twitter_generator.h"
 #include "similarity/network_similarity.h"
@@ -106,12 +107,16 @@ int main() {
     const ProfileTable* profiles_;
   } oracle(&tw.profiles);
 
-  auto engine = RiskEngine::Create(RiskEngineConfig{}).value();
+  auto service = RiskService::Create(RiskServiceConfig{}).value();
+  OwnerRegistration registration;
+  registration.owner = tw.owner;
+  registration.graph = &tw.graph;
+  registration.profiles = &tw.profiles;
+  registration.visibility = &tw.visibility;
+  SIGHT_CHECK(service->RegisterOwner(registration).ok());
+  SIGHT_CHECK(service->DiscoverAllStrangers(tw.owner).ok());
   Rng run_rng(7);
-  auto report =
-      engine.AssessOwner(tw.graph, tw.profiles, tw.visibility, tw.owner,
-                         &oracle, &run_rng)
-          .value();
+  auto report = service->AssessNow(tw.owner, &oracle, &run_rng).value();
   size_t counts[4] = {0, 0, 0, 0};
   for (const StrangerAssessment& sa : report.assessment.strangers) {
     ++counts[static_cast<int>(sa.predicted_label)];

@@ -14,7 +14,8 @@
 #include "core/friend_suggestion.h"
 #include "core/label_policy.h"
 #include "core/query_text.h"
-#include "core/risk_engine.h"
+#include "service/risk_service.h"
+#include "util/logging.h"
 #include "sim/facebook_generator.h"
 #include "sim/owner_model.h"
 #include "util/string_util.h"
@@ -41,18 +42,21 @@ int main() {
                                        &dataset.visibility)
                    .value();
 
-  RiskEngineConfig config;
-  config.pools.attribute_weights = sim::PaperAttributeWeights();
-  config.learner.confidence = attitude.confidence;
-  config.theta = attitude.theta;
-  auto engine = RiskEngine::Create(config).value();
+  RiskServiceConfig config;
+  config.engine.pools.attribute_weights = sim::PaperAttributeWeights();
+  config.engine.learner.confidence = attitude.confidence;
+  config.engine.theta = attitude.theta;
+  auto service = RiskService::Create(std::move(config)).value();
+  OwnerRegistration registration;
+  registration.owner = dataset.owner;
+  registration.graph = &dataset.graph;
+  registration.profiles = &dataset.profiles;
+  registration.visibility = &dataset.visibility;
+  SIGHT_CHECK(service->RegisterOwner(registration).ok());
+  SIGHT_CHECK(service->DiscoverAllStrangers(dataset.owner).ok());
 
   Rng run_rng(7);
-  auto report = engine
-                    .AssessOwner(dataset.graph, dataset.profiles,
-                                 dataset.visibility, dataset.owner, &owner,
-                                 &run_rng)
-                    .value();
+  auto report = service->AssessNow(dataset.owner, &owner, &run_rng).value();
 
   std::printf("learned this user's risk attitude from %zu answers "
               "covering %zu strangers\n\n",

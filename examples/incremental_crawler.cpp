@@ -2,18 +2,21 @@
 //
 // The paper's Sight app cannot see the whole graph at once — strangers
 // surface over days as friends interact. This example drives the Crawler
-// simulator tick by tick through a RiskSession: after every discovery
-// batch the pools are rebuilt on the fly (the paper's stated reason for
-// choosing active learning over a fixed training set), while every answer
-// the owner has already given carries over — the owner is never asked
-// about the same stranger twice.
+// simulator tick by tick through the resident RiskService: each
+// discovery batch is submitted as an OwnerEvent, a background worker
+// applies it and assesses, and the crawler thread picks up the versioned
+// snapshot with WaitFor. Every answer the owner has already given
+// carries over — the owner is never asked about the same stranger
+// twice — and pools untouched by a batch reuse their carried learners
+// outright (no matrix rebuild, no re-convergence rounds).
 
 #include <cstdio>
 
-#include "core/risk_session.h"
+#include "service/risk_service.h"
 #include "sim/crawler.h"
 #include "sim/facebook_generator.h"
 #include "sim/owner_model.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -42,50 +45,65 @@ int main() {
                                       crawl_config, &crawl_rng)
                      .value();
 
-  RiskEngineConfig config;
-  config.pools.attribute_weights = sim::PaperAttributeWeights();
-  config.learner.confidence = attitude.confidence;
-  config.theta = attitude.theta;
-  auto session = RiskSession::Create(config, &dataset.graph,
-                                     &dataset.profiles, &dataset.visibility,
-                                     dataset.owner)
-                     .value();
+  RiskServiceConfig config;
+  config.engine.pools.attribute_weights = sim::PaperAttributeWeights();
+  config.engine.learner.confidence = attitude.confidence;
+  config.engine.theta = attitude.theta;
+  auto service = RiskService::Create(std::move(config)).value();
+  OwnerRegistration registration;
+  registration.owner = dataset.owner;
+  registration.graph = &dataset.graph;
+  registration.profiles = &dataset.profiles;
+  registration.visibility = &dataset.visibility;
+  registration.oracle = &owner;  // answers queries on the worker thread
+  registration.rng_seed = 99;
+  SIGHT_CHECK(service->RegisterOwner(registration).ok());
 
   std::printf("crawling %zu strangers in batches of %zu...\n\n",
               crawler.total_strangers(), crawl_config.batch_size);
 
   TablePrinter table({"day", "discovered", "new labels", "labels total",
-                      "very risky", "risky", "not risky"});
-  Rng run_rng(99);
-  size_t day = 0;
+                      "pools carried", "very risky", "risky", "not risky"});
+  uint64_t day = 0;
   while (!crawler.done()) {
     ++day;
-    auto batch = crawler.Tick();
-    if (!session.AddStrangers(batch).ok()) break;
-    auto report_or = session.Assess(&owner, &run_rng);
-    if (!report_or.ok()) {
-      std::fprintf(stderr, "assess failed: %s\n",
-                   report_or.status().ToString().c_str());
+    OwnerEvent event;
+    event.owner = dataset.owner;
+    event.discovered = crawler.Tick();
+    if (!service->Submit(std::move(event)).ok()) break;
+    // The assessment runs on the service's worker; block for its
+    // snapshot here only because this example has nothing else to do.
+    auto snapshot_or = service->WaitFor(dataset.owner, day);
+    if (!snapshot_or.ok() || !(*snapshot_or)->status.ok()) {
+      std::fprintf(stderr, "assess failed\n");
       return 1;
     }
-    const RiskReport& report = *report_or;
+    const AssessmentSnapshot& snapshot = **snapshot_or;
+    const RiskReport& report = snapshot.report;
     size_t counts[4] = {0, 0, 0, 0};
     for (const StrangerAssessment& sa : report.assessment.strangers) {
       ++counts[static_cast<int>(sa.predicted_label)];
     }
     table.AddRow({StrFormat("%zu", day),
-                  StrFormat("%zu", session.num_strangers()),
+                  StrFormat("%zu",
+                            service->NumStrangers(dataset.owner).value_or(0)),
                   StrFormat("%zu", report.assessment.total_queries),
-                  StrFormat("%zu", session.num_known_labels()),
+                  StrFormat("%zu",
+                            service->NumKnownLabels(dataset.owner)
+                                .value_or(0)),
+                  StrFormat("%zu", report.assessment.pools_carried),
                   StrFormat("%zu", counts[3]), StrFormat("%zu", counts[2]),
                   StrFormat("%zu", counts[1])});
   }
+  service->Shutdown();
   std::fputs(table.ToString().c_str(), stdout);
+  size_t labels = service->NumKnownLabels(dataset.owner).value_or(0);
+  size_t strangers = service->NumStrangers(dataset.owner).value_or(1);
   std::printf("\nowner answered %zu questions for %zu strangers (%.1f%%); "
-              "labels persist across pool rebuilds, so each new day only "
-              "pays for its new strangers.\n",
-              session.num_known_labels(), session.num_strangers(),
-              100.0 * static_cast<double>(session.num_known_labels()) /
-                  static_cast<double>(session.num_strangers()));
+              "labels and finished pool learners persist across ticks, so "
+              "each new day only pays for its new strangers.\n",
+              labels, strangers,
+              100.0 * static_cast<double>(labels) /
+                  static_cast<double>(strangers));
   return 0;
 }

@@ -1,5 +1,6 @@
-// Quickstart: build a small social network by hand, run the risk engine
-// for one owner, and print the predicted risk label of every stranger.
+// Quickstart: build a small social network by hand, stand up the risk
+// service for one owner, and print the predicted risk label of every
+// stranger.
 //
 // The LabelOracle here is a stand-in for the real owner answering the
 // paper's Section III-A question; swap in your own implementation to
@@ -7,8 +8,8 @@
 
 #include <cstdio>
 
-#include "core/risk_engine.h"
 #include "graph/algorithms.h"
+#include "service/risk_service.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -80,19 +81,32 @@ int main() {
     (void)profiles.Set(u, p);
   }
 
-  // 2. Run the risk engine with paper-default parameters.
-  RiskEngineConfig config;
-  config.learner.labels_per_round = 2;  // tiny example, keep effort small
-  auto engine_or = RiskEngine::Create(config);
-  if (!engine_or.ok()) {
-    std::fprintf(stderr, "engine: %s\n",
-                 engine_or.status().ToString().c_str());
+  // 2. Stand up the risk service with paper-default parameters and
+  //    register the owner. One service instance serves any number of
+  //    owners; this example needs a single synchronous assessment.
+  RiskServiceConfig config;
+  config.engine.learner.labels_per_round = 2;  // tiny example
+  auto service_or = RiskService::Create(std::move(config));
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  RiskService& service = **service_or;
+  OwnerRegistration registration;
+  registration.owner = 0;
+  registration.graph = &graph;
+  registration.profiles = &profiles;
+  registration.visibility = &visibility;
+  Status setup = service.RegisterOwner(registration);
+  setup.Update(service.DiscoverAllStrangers(0));
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup: %s\n", setup.ToString().c_str());
     return 1;
   }
   CautiousOwner owner(&profiles, 0);
   Rng run_rng(2012);
-  auto report_or = engine_or->AssessOwner(graph, profiles, visibility,
-                                          /*owner=*/0, &owner, &run_rng);
+  auto report_or = service.AssessNow(/*owner=*/0, &owner, &run_rng);
   if (!report_or.ok()) {
     std::fprintf(stderr, "assess: %s\n",
                  report_or.status().ToString().c_str());

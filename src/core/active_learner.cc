@@ -33,6 +33,40 @@ Status ActiveLearnerConfig::Validate() const {
   return Status::OK();
 }
 
+size_t LearnerCarry::size() const { return retained_.size(); }
+
+void LearnerCarry::Clear() { retained_.clear(); }
+
+bool PoolLearner::CanResume(const StrangerPool& pool,
+                            const KnownLabels* known_labels) const {
+  if (!finished_ || outcome_ == PoolOutcome::kRoundLimit) return false;
+  if (members_ != pool.members) return false;
+  if (known_labels == nullptr) return true;
+  // Every carried-over label covering a member must already be one of
+  // this learner's labels, bit-identical — a label this learner has not
+  // incorporated (e.g. imported from another process) forces a rebuild
+  // so the seeding path picks it up.
+  std::unordered_map<size_t, double> by_index;
+  by_index.reserve(labeled_.size());
+  for (size_t k = 0; k < labeled_.size(); ++k) {
+    by_index[labeled_.indices[k]] = labeled_.values[k];
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    auto it = known_labels->find(members_[i]);
+    if (it == known_labels->end()) continue;
+    auto have = by_index.find(i);
+    if (have == by_index.end() || have->second != it->second) return false;
+  }
+  return true;
+}
+
+void PoolLearner::MarkCarried() {
+  seeded_count_ = labeled_.size();
+  validation_matches_ = 0;
+  validation_total_ = 0;
+  rounds_run_ = 0;
+}
+
 Result<PoolLearner> PoolLearner::Create(
     const StrangerPool& pool, SimilarityMatrix weights,
     std::vector<double> display_similarity,
@@ -310,7 +344,7 @@ Result<ActiveLearner> ActiveLearner::Create(
     std::vector<double> display_benefits, ActiveLearnerConfig config,
     const GraphClassifier* classifier, const Sampler* sampler,
     const PoolLearner::KnownLabels* known_labels,
-    const PoolLearner::KnownLabels* prior_scores) {
+    const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) {
   SIGHT_RETURN_IF_ERROR(config.Validate());
   if (display_benefits.size() != pools.strangers.size()) {
     return Status::InvalidArgument(
@@ -336,24 +370,50 @@ Result<ActiveLearner> ActiveLearner::Create(
 
   size_t num_pools = pools.pools.size();
 
+  // Cross-tick carry-over: a pool whose membership fingerprint matches a
+  // retained learner (and whose carried labels it already holds) reuses
+  // that learner wholesale and skips the matrix build below. Retained
+  // learners are consumed either way — unmatched ones are stale (their
+  // pool changed shape) and are dropped with the carry.
+  std::vector<std::optional<PoolLearner>> carried(num_pools);
+  if (carry != nullptr) {
+    std::vector<bool> consumed(carry->retained_.size(), false);
+    for (size_t p = 0; p < num_pools; ++p) {
+      for (size_t r = 0; r < carry->retained_.size(); ++r) {
+        if (consumed[r]) continue;
+        if (!carry->retained_[r].CanResume(pools.pools[p], known_labels)) {
+          continue;
+        }
+        carried[p].emplace(std::move(carry->retained_[r]));
+        consumed[r] = true;
+        ++learner.pools_carried_;
+        break;
+      }
+    }
+    carry->retained_.clear();
+  }
+
   // Per-pool scaffolding (cheap relative to the pairwise loop below):
   // the pool's profiles dictionary-encoded once, value frequencies from
   // the pool itself (Section III-C) indexed by those codes, the weight
   // matrix to fill, and the display vectors surfaced to the oracle.
-  std::vector<EncodedProfileTable> encoded;
-  std::vector<ValueFrequencyTable> freqs;
+  // Carried pools keep all of this from their previous tick.
+  std::vector<std::optional<EncodedProfileTable>> encoded(num_pools);
+  std::vector<std::optional<ValueFrequencyTable>> freqs(num_pools);
   std::vector<SimilarityMatrix> weights;
   std::vector<std::vector<double>> sims(num_pools);
   std::vector<std::vector<double>> bens(num_pools);
-  encoded.reserve(num_pools);
-  freqs.reserve(num_pools);
   weights.reserve(num_pools);
   size_t total_pairs = 0;
   for (size_t p = 0; p < num_pools; ++p) {
     const StrangerPool& pool = pools.pools[p];
+    if (carried[p].has_value()) {
+      weights.emplace_back(0);
+      continue;
+    }
     size_t n = pool.members.size();
-    encoded.push_back(EncodedProfileTable::Build(profiles, pool.members));
-    freqs.push_back(ValueFrequencyTable::Build(encoded.back()));
+    encoded[p].emplace(EncodedProfileTable::Build(profiles, pool.members));
+    freqs[p].emplace(ValueFrequencyTable::Build(*encoded[p]));
     weights.emplace_back(n);
     total_pairs += n * (n - 1) / 2;
     sims[p].assign(n, 0.0);
@@ -379,10 +439,11 @@ Result<ActiveLearner> ActiveLearner::Create(
   // pairs, so tiles write without synchronization.
   std::vector<std::pair<size_t, ps_kernels::PairTile>> tiles;
   for (size_t p = 0; p < num_pools; ++p) {
+    if (carried[p].has_value()) continue;
     const ps_kernels::TileShape shape =
-        ps_kernels::DefaultTileShape(encoded[p].num_attributes());
+        ps_kernels::DefaultTileShape(encoded[p]->num_attributes());
     for (const ps_kernels::PairTile& tile :
-         ps_kernels::MakeTiles(encoded[p].num_rows(), shape)) {
+         ps_kernels::MakeTiles(encoded[p]->num_rows(), shape)) {
       tiles.emplace_back(p, tile);
     }
   }
@@ -390,14 +451,20 @@ Result<ActiveLearner> ActiveLearner::Create(
   pf.total_work = total_pairs;
   ParallelFor(config.thread_pool, tiles.size(), [&](size_t t) {
     const auto& [p, tile] = tiles[t];
-    ps_kernels::FillTile(encoded[p], ps, freqs[p], tile, &weights[p]);
+    ps_kernels::FillTile(*encoded[p], ps, *freqs[p], tile, &weights[p]);
   }, pf);
 
   // Per-pool learner setup (sparsification, CSR compaction, label
   // seeding) is independent across pools; statuses are surfaced in pool
-  // order afterwards.
+  // order afterwards. Carried learners only rebaseline their per-tick
+  // counters.
   std::vector<std::optional<Result<PoolLearner>>> created(num_pools);
   ParallelFor(config.thread_pool, num_pools, [&](size_t p) {
+    if (carried[p].has_value()) {
+      carried[p]->MarkCarried();
+      created[p].emplace(std::move(*carried[p]));
+      return;
+    }
     created[p].emplace(PoolLearner::Create(
         pools.pools[p], std::move(weights[p]), std::move(sims[p]),
         std::move(bens[p]), config, classifier, sampler, known_labels,
@@ -411,12 +478,24 @@ Result<ActiveLearner> ActiveLearner::Create(
   return learner;
 }
 
+void ActiveLearner::HarvestInto(LearnerCarry* carry) {
+  SIGHT_CHECK(carry != nullptr);
+  carry->retained_.clear();
+  carry->retained_.reserve(learners_.size());
+  for (PoolLearner& learner : learners_) {
+    carry->retained_.push_back(std::move(learner));
+  }
+  learners_.clear();
+  pool_of_learner_.clear();
+}
+
 Result<AssessmentResult> ActiveLearner::Run(LabelOracle* oracle, Rng* rng) {
   if (oracle == nullptr || rng == nullptr) {
     return Status::InvalidArgument("oracle and rng are required");
   }
   AssessmentResult result;
   result.pools_total = learners_.size();
+  result.pools_carried = pools_carried_;
 
   double rounds_sum = 0.0;
   for (size_t li = 0; li < learners_.size(); ++li) {

@@ -131,6 +131,36 @@ enum class PoolOutcome : uint8_t {
   kRoundLimit,
 };
 
+class PoolLearner;
+
+/// Cross-tick carry-over of per-pool learner state (the resident-service
+/// flow, DESIGN.md §13). After an assessment the ActiveLearner's finished
+/// PoolLearners — similarity matrix, labeled set, converged solve state —
+/// are harvested into a LearnerCarry; on the next tick, pools whose
+/// membership fingerprint (the exact member list) matches a retained
+/// learner reuse it wholesale, skipping the matrix rebuild and the
+/// re-convergence rounds. Stale state is rejected structurally: any
+/// membership change, any label the learner has not seen, or a
+/// round-limit outcome falls back to the full rebuild, and the
+/// append-only labeled-set fingerprint inside HarmonicSolveState guards
+/// the solve layer independently (DESIGN.md §12).
+class LearnerCarry {
+ public:
+  LearnerCarry() = default;
+  LearnerCarry(LearnerCarry&&) = default;
+  LearnerCarry& operator=(LearnerCarry&&) = default;
+
+  /// Retained learners available for reuse.
+  size_t size() const;
+  /// Drops all retained state (e.g. after an upstream data change the
+  /// membership fingerprint cannot see, such as edited profiles).
+  void Clear();
+
+ private:
+  friend class ActiveLearner;
+  std::vector<PoolLearner> retained_;
+};
+
 /// Active learning over a single pool.
 ///
 /// The pool's classifier graph is the profile-similarity matrix over its
@@ -190,6 +220,21 @@ class PoolLearner {
   /// exactly matched the owner's label / total validated.
   size_t validation_matches() const { return validation_matches_; }
   size_t validation_total() const { return validation_total_; }
+
+  /// True when this retained learner can serve `pool` unchanged on a new
+  /// tick: it finished (and not by hitting the round limit — those get a
+  /// fresh rebuild and another chance to converge), the member list is
+  /// identical, and every carried-over label covering a member is one the
+  /// learner already holds with a bit-identical value. Any mismatch means
+  /// the pool is rebuilt from scratch.
+  bool CanResume(const StrangerPool& pool,
+                 const KnownLabels* known_labels) const;
+
+  /// Rebaselines per-tick counters after a carry-over: labels already
+  /// collected stop counting as fresh queries, validation tallies and the
+  /// round counter restart, so reports aggregate per-assessment effort
+  /// exactly like a rebuilt learner's.
+  void MarkCarried();
 
  private:
   PoolLearner(const StrangerPool& pool, SimilarityMatrix weights,
@@ -258,6 +303,10 @@ struct AssessmentResult {
   size_t pools_converged = 0;
   size_t pools_exhausted = 0;
   size_t pools_round_limit = 0;
+  /// Pools served by a carried-over learner (no matrix rebuild, no
+  /// re-convergence rounds) — only non-zero when a LearnerCarry was
+  /// supplied.
+  size_t pools_carried = 0;
   /// Mean rounds per pool until it finished.
   double mean_rounds = 0.0;
   /// Exact-match validation across pools (the paper's 83.36% metric).
@@ -279,21 +328,32 @@ class ActiveLearner {
   /// `classifier` and `sampler` must outlive the learner. Strangers found
   /// in `known_labels` (optional) start out labeled in their pools;
   /// strangers found in `prior_scores` (optional) seed each pool's first
-  /// solve with the previous tick's predicted scores.
+  /// solve with the previous tick's predicted scores. `carry` (optional)
+  /// supplies retained learners from the previous tick: pools that
+  /// CanResume one skip the matrix build entirely; retained learners are
+  /// consumed whether or not they match (call HarvestInto after Run to
+  /// refill the carry for the next tick).
   [[nodiscard]]
   static Result<ActiveLearner> Create(
       const PoolSet& pools, const ProfileTable& profiles,
       std::vector<double> display_benefits, ActiveLearnerConfig config,
       const GraphClassifier* classifier, const Sampler* sampler,
       const PoolLearner::KnownLabels* known_labels = nullptr,
-      const PoolLearner::KnownLabels* prior_scores = nullptr);
+      const PoolLearner::KnownLabels* prior_scores = nullptr,
+      LearnerCarry* carry = nullptr);
 
   /// Runs every pool to completion.
   [[nodiscard]] Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);
 
+  /// Moves every finished learner into `carry` for the next tick
+  /// (replacing whatever it held). The ActiveLearner is spent afterwards;
+  /// call only after Run.
+  void HarvestInto(LearnerCarry* carry);
+
  private:
   ActiveLearner() = default;
 
+  size_t pools_carried_ = 0;
   std::vector<PoolLearner> learners_;
   std::vector<size_t> pool_of_learner_;
   // Parallel to the PoolSet's stranger list.

@@ -1,6 +1,7 @@
 #include "core/risk_engine.h"
 
 #include "graph/algorithms.h"
+#include "util/logging.h"
 
 namespace sight {
 
@@ -81,6 +82,28 @@ Result<RiskReport> RiskEngine::AssessStrangers(
     std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
     const PoolLearner::KnownLabels* known_labels,
     const PoolLearner::KnownLabels* prior_scores) const {
+  return AssessImpl(graph, profiles, visibility, owner, std::move(strangers),
+                    oracle, rng, known_labels, prior_scores,
+                    /*carry=*/nullptr);
+}
+
+Result<RiskReport> RiskEngine::AssessIncremental(
+    const SocialGraph& graph, const ProfileTable& profiles,
+    const VisibilityTable& visibility, UserId owner,
+    std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
+    const PoolLearner::KnownLabels* known_labels,
+    const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const {
+  SIGHT_CHECK(carry != nullptr);
+  return AssessImpl(graph, profiles, visibility, owner, std::move(strangers),
+                    oracle, rng, known_labels, prior_scores, carry);
+}
+
+Result<RiskReport> RiskEngine::AssessImpl(
+    const SocialGraph& graph, const ProfileTable& profiles,
+    const VisibilityTable& visibility, UserId owner,
+    std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
+    const PoolLearner::KnownLabels* known_labels,
+    const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const {
   PoolBuilderConfig pool_config = config_.pools;
   pool_config.thread_pool = effective_pool();
   SIGHT_ASSIGN_OR_RETURN(PoolBuilder builder,
@@ -99,11 +122,12 @@ Result<RiskReport> RiskEngine::AssessStrangers(
   SIGHT_ASSIGN_OR_RETURN(
       ActiveLearner learner,
       ActiveLearner::Create(pools, profiles, std::move(benefits),
-                            learner_config, classifier_.get(),
-                            sampler_.get(), known_labels, prior_scores));
+                            learner_config, classifier_.get(), sampler_.get(),
+                            known_labels, prior_scores, carry));
 
   RiskReport report;
   SIGHT_ASSIGN_OR_RETURN(report.assessment, learner.Run(oracle, rng));
+  if (carry != nullptr) learner.HarvestInto(carry);
   report.num_strangers = pools.TotalStrangers();
   report.num_pools = pools.pools.size();
   report.pool_sizes.reserve(pools.pools.size());

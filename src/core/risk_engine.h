@@ -1,9 +1,18 @@
-// RiskEngine: the one-call public API of the Sight library.
+// RiskEngine: the batch assessment core of the Sight library.
 //
 // Wires together the full pipeline of the paper: two-hop stranger
 // enumeration -> network similarity -> Definition 1/3 pools -> benefit
 // computation -> active learning with a graph-based classifier -> a risk
 // label for every stranger of the owner.
+//
+// DEPRECATED as a front door: constructing a RiskEngine per owner (or
+// per crawler tick) rebuilds codecs, frequency tables, and learners
+// from scratch every call. New code should go through the resident
+// `RiskService` (service/risk_service.h), which shards owner state,
+// carries learners across ticks, and exposes async Submit/Poll as well
+// as a bitwise-identical synchronous path. See DESIGN.md §13 for the
+// old->new API map. RiskEngine remains the internal execution core the
+// service drives.
 //
 //   RiskEngineConfig config;                    // paper defaults
 //   auto engine = RiskEngine::Create(config).value();
@@ -105,7 +114,7 @@ class RiskEngine {
   /// Strangers in `known_labels` (optional) start out owner-labeled; the
   /// oracle is only queried for the rest. Strangers in `prior_scores`
   /// (optional) seed the pools' first solves with the previous tick's
-  /// predicted scores (warm start across ticks). RiskSession manages
+  /// predicted scores (warm start across ticks). RiskService manages
   /// both maps automatically.
   [[nodiscard]]
   Result<RiskReport> AssessStrangers(
@@ -115,10 +124,37 @@ class RiskEngine {
       const PoolLearner::KnownLabels* known_labels = nullptr,
       const PoolLearner::KnownLabels* prior_scores = nullptr) const;
 
+  /// AssessStrangers plus cross-tick learner reuse: finished
+  /// PoolLearners stashed in `carry` by a previous call are resumed
+  /// when their pool's member list and owner labels are unchanged
+  /// (stale state is rejected by those fingerprint checks), skipping
+  /// the encode/matrix-build/round loop entirely for stable pools.
+  /// After the run, the new learners are harvested back into `carry`
+  /// for the next tick. `carry` may be empty but not null; pass
+  /// distinct carries for distinct owners. Drives RiskService's warm
+  /// path; results are bitwise-identical to AssessStrangers.
+  [[nodiscard]]
+  Result<RiskReport> AssessIncremental(
+      const SocialGraph& graph, const ProfileTable& profiles,
+      const VisibilityTable& visibility, UserId owner,
+      std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
+      const PoolLearner::KnownLabels* known_labels,
+      const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const;
+
   const RiskEngineConfig& config() const { return config_; }
 
  private:
   explicit RiskEngine(RiskEngineConfig config);
+
+  [[nodiscard]]
+  Result<RiskReport> AssessImpl(const SocialGraph& graph,
+                                const ProfileTable& profiles,
+                                const VisibilityTable& visibility, UserId owner,
+                                std::vector<UserId> strangers,
+                                LabelOracle* oracle, Rng* rng,
+                                const PoolLearner::KnownLabels* known_labels,
+                                const PoolLearner::KnownLabels* prior_scores,
+                                LearnerCarry* carry) const;
 
   /// The pool the pipeline phases run on: the caller's, else the engine's
   /// own (num_threads != 1), else null (serial).

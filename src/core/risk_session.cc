@@ -1,31 +1,10 @@
 #include "core/risk_session.h"
 
-#include "graph/algorithms.h"
+#include <utility>
+
 #include "util/string_util.h"
 
 namespace sight {
-namespace {
-
-// Forwards queries to the user's oracle and records every answer into the
-// session's label store.
-class RecordingOracle : public LabelOracle {
- public:
-  RecordingOracle(LabelOracle* inner, PoolLearner::KnownLabels* store)
-      : inner_(inner), store_(store) {}
-
-  RiskLabel QueryLabel(UserId stranger, double similarity,
-                       double benefit) override {
-    RiskLabel label = inner_->QueryLabel(stranger, similarity, benefit);
-    (*store_)[stranger] = RiskLabelValue(label);
-    return label;
-  }
-
- private:
-  LabelOracle* inner_;
-  PoolLearner::KnownLabels* store_;
-};
-
-}  // namespace
 
 Result<RiskSession> RiskSession::Create(RiskEngineConfig config,
                                         const SocialGraph* graph,
@@ -39,73 +18,39 @@ Result<RiskSession> RiskSession::Create(RiskEngineConfig config,
   if (!graph->HasUser(owner)) {
     return Status::InvalidArgument(StrFormat("unknown owner %u", owner));
   }
-  SIGHT_ASSIGN_OR_RETURN(RiskEngine engine,
-                         RiskEngine::Create(std::move(config)));
-  return RiskSession(std::move(engine), graph, profiles, visibility, owner);
+  RiskServiceConfig service_config;
+  service_config.engine = std::move(config);
+  service_config.num_shards = 1;
+  // The legacy session rebuilds every pool each Assess; keep that
+  // behavior (and its bitwise-identical reports) by disabling carry.
+  service_config.carry_learners = false;
+  SIGHT_ASSIGN_OR_RETURN(std::unique_ptr<RiskService> service,
+                         RiskService::Create(std::move(service_config)));
+  OwnerRegistration registration;
+  registration.owner = owner;
+  registration.graph = graph;
+  registration.profiles = profiles;
+  registration.visibility = visibility;
+  SIGHT_RETURN_IF_ERROR(service->RegisterOwner(registration));
+  SIGHT_ASSIGN_OR_RETURN(const PoolLearner::KnownLabels* labels_view,
+                         service->KnownLabelsView(owner));
+  return RiskSession(std::move(service), owner, labels_view);
 }
 
 Status RiskSession::AddStrangers(const std::vector<UserId>& discovered) {
-  for (UserId s : discovered) {
-    if (!graph_->HasUser(s)) {
-      return Status::InvalidArgument(
-          StrFormat("stranger %u is not a known user", s));
-    }
-    if (s == owner_) {
-      return Status::InvalidArgument("the owner is not a stranger");
-    }
-    if (discovered_.insert(s).second) {
-      strangers_.push_back(s);
-    }
-  }
-  return Status::OK();
+  return service_->AddStrangers(owner_, discovered);
 }
 
 Status RiskSession::DiscoverAllStrangers() {
-  SIGHT_ASSIGN_OR_RETURN(std::vector<UserId> all,
-                         TwoHopStrangers(*graph_, owner_));
-  return AddStrangers(all);
+  return service_->DiscoverAllStrangers(owner_);
 }
 
 Status RiskSession::ImportLabels(const PoolLearner::KnownLabels& labels) {
-  // Validate everything before mutating any state.
-  std::vector<UserId> to_discover;
-  for (const auto& [stranger, value] : labels) {
-    if (value < kRiskLabelMin || value > kRiskLabelMax) {
-      return Status::OutOfRange(
-          StrFormat("label %f for stranger %u outside [%d, %d]", value,
-                    stranger, kRiskLabelMin, kRiskLabelMax));
-    }
-    if (!graph_->HasUser(stranger) || stranger == owner_) {
-      return Status::InvalidArgument(
-          StrFormat("labeled stranger %u is not a valid user", stranger));
-    }
-    if (discovered_.count(stranger) == 0) to_discover.push_back(stranger);
-  }
-  SIGHT_RETURN_IF_ERROR(AddStrangers(to_discover));
-  for (const auto& [stranger, value] : labels) {
-    known_labels_[stranger] = value;
-  }
-  return Status::OK();
+  return service_->ImportLabels(owner_, labels);
 }
 
 Result<RiskReport> RiskSession::Assess(LabelOracle* oracle, Rng* rng) {
-  if (oracle == nullptr || rng == nullptr) {
-    return Status::InvalidArgument("oracle and rng are required");
-  }
-  RecordingOracle recording(oracle, &known_labels_);
-  SIGHT_ASSIGN_OR_RETURN(
-      RiskReport report,
-      engine_.AssessStrangers(*graph_, *profiles_, *visibility_, owner_,
-                              strangers_, &recording, rng, &known_labels_,
-                              last_scores_.empty() ? nullptr
-                                                   : &last_scores_));
-  // Remember this tick's converged scores so the next Assess seeds its
-  // solves from them instead of the label mean.
-  last_scores_.clear();
-  for (const StrangerAssessment& sa : report.assessment.strangers) {
-    last_scores_[sa.stranger] = sa.predicted_score;
-  }
-  return report;
+  return service_->AssessSync(owner_, oracle, rng);
 }
 
 }  // namespace sight

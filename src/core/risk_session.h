@@ -1,4 +1,4 @@
-// RiskSession: incremental risk assessment over a growing stranger set.
+// RiskSession: single-owner incremental risk assessment.
 //
 // The paper motivates active learning with the dynamic nature of the
 // owner's social graph: the Sight app discovers strangers over days, and
@@ -18,11 +18,19 @@
 // changed similarities are reflected), but every owner answer ever given
 // is remembered and re-seeded into the rebuilt pools — the oracle is
 // never asked about the same stranger twice.
+//
+// DEPRECATED as a front door: RiskSession is now a thin single-owner,
+// synchronous adapter over the resident `RiskService`
+// (service/risk_service.h), which adds owner sharding, async
+// Submit/Poll, and cross-tick learner carry. New code — anything
+// serving more than one owner, or assessing off the caller's thread —
+// should construct the service directly. See DESIGN.md §13 for the
+// old->new API map. Behavior here is unchanged (bit-identical reports).
 
 #ifndef SIGHT_CORE_RISK_SESSION_H_
 #define SIGHT_CORE_RISK_SESSION_H_
 
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "core/active_learner.h"
@@ -31,6 +39,7 @@
 #include "graph/social_graph.h"
 #include "graph/types.h"
 #include "graph/visibility.h"
+#include "service/risk_service.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -63,12 +72,16 @@ class RiskSession {
   /// total_queries counts only *new* oracle questions.
   [[nodiscard]] Result<RiskReport> Assess(LabelOracle* oracle, Rng* rng);
 
-  size_t num_strangers() const { return strangers_.size(); }
-  size_t num_known_labels() const { return known_labels_.size(); }
+  size_t num_strangers() const {
+    return service_->NumStrangers(owner_).value_or(0);
+  }
+  size_t num_known_labels() const {
+    return service_->NumKnownLabels(owner_).value_or(0);
+  }
 
   /// All owner labels collected so far (stranger -> numeric label).
   const PoolLearner::KnownLabels& known_labels() const {
-    return known_labels_;
+    return *labels_view_;
   }
 
   /// Imports labels collected elsewhere (e.g. a previous process via
@@ -78,24 +91,17 @@ class RiskSession {
   [[nodiscard]] Status ImportLabels(const PoolLearner::KnownLabels& labels);
 
  private:
-  RiskSession(RiskEngine engine, const SocialGraph* graph,
-              const ProfileTable* profiles,
-              const VisibilityTable* visibility, UserId owner)
-      : engine_(std::move(engine)), graph_(graph), profiles_(profiles),
-        visibility_(visibility), owner_(owner) {}
+  RiskSession(std::unique_ptr<RiskService> service, UserId owner,
+              const PoolLearner::KnownLabels* labels_view)
+      : service_(std::move(service)), owner_(owner),
+        labels_view_(labels_view) {}
 
-  RiskEngine engine_;
-  const SocialGraph* graph_;
-  const ProfileTable* profiles_;
-  const VisibilityTable* visibility_;
-  UserId owner_;
-
-  std::vector<UserId> strangers_;  // discovery order, duplicate-free
-  std::unordered_set<UserId> discovered_;
-  PoolLearner::KnownLabels known_labels_;
-  /// Predicted continuous scores from the previous Assess, keyed by
-  /// stranger — the warm-start seed the next tick's pools solve from.
-  PoolLearner::KnownLabels last_scores_;
+  /// Single-owner service: one shard, learner carry off (Assess keeps
+  /// the exact legacy rebuild-per-tick behavior), no background threads
+  /// (the sync path never touches the worker pool).
+  std::unique_ptr<RiskService> service_;
+  UserId owner_ = kInvalidUser;
+  const PoolLearner::KnownLabels* labels_view_ = nullptr;
 };
 
 }  // namespace sight

@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kResourceExhausted = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +69,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

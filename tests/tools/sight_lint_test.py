@@ -93,6 +93,11 @@ def main():
               "#include <future>\n"
               "void F() { auto f = std::async([] {}); }\n",
               "no-raw-thread")
+    lint_case("direct RiskEngine::Create outside src/service", "core/foo.cc",
+              "void F() {\n"
+              "  auto engine = RiskEngine::Create(RiskEngineConfig{});\n"
+              "  SIGHT_CHECK(engine.ok());\n"
+              "}\n", "no-direct-engine")
 
     # --- clean idioms must NOT be flagged --------------------------------
     lint_case("[[nodiscard]] declaration is clean", "core/foo.h",
@@ -125,6 +130,13 @@ def main():
               "util/thread_pool.cc",
               "#include <thread>\n"
               "void Pool() { std::thread t([] {}); t.join(); }\n", None)
+    lint_case("RiskEngine::Create inside src/service is allowed",
+              "service/risk_service.cc",
+              "Status F() {\n"
+              "  SIGHT_ASSIGN_OR_RETURN(RiskEngine engine,\n"
+              "                         RiskEngine::Create(config.engine));\n"
+              "  return Status::OK();\n"
+              "}\n", None)
     lint_case("comments and strings are ignored", "core/foo.cc",
               "// try to throw std::cout at a std::thread\n"
               'const char* k = "throw try std::cerr";\n', None)

@@ -10,9 +10,10 @@
 #   --format     clang-format --dry-run -Werror over src/ tests/ tools/
 #                bench/ (skipped with a notice if clang-format is missing)
 #   --asan / --ubsan / --tsan
-#                sanitizer builds; tsan runs the threading- and
-#                incremental-labeled tests (the warm-start solve state
-#                and CSR staging buffers are exactly the kind of
+#                sanitizer builds; tsan runs the threading-,
+#                incremental-, and serving-labeled tests (the warm-start
+#                solve state, CSR staging buffers, and the RiskService
+#                shard queues / snapshot swaps are exactly the kind of
 #                retained mutable state sanitizers catch), asan/ubsan
 #                run the full suite (incremental tests included)
 #   --nosimd     build with -DSIGHT_SIMD=OFF and run the full ctest
@@ -130,10 +131,11 @@ if [[ $run_nosimd -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  step "ThreadSanitizer build + threading/incremental-labeled ctest"
+  step "ThreadSanitizer build + threading/incremental/serving ctest"
   configure_and_build build-tsan -DSIGHT_SANITIZE=thread
   (cd build-tsan && \
-   ctest --output-on-failure -L 'threading|incremental' -j "$JOBS")
+   ctest --output-on-failure -L 'threading|incremental|serving' \
+     -j "$JOBS")
 fi
 
 step "all requested checks passed"

@@ -17,6 +17,10 @@ Enforces the Sight library conventions documented in DESIGN.md §10:
                      util/thread_pool — all parallelism goes through
                      ThreadPool / ParallelFor so determinism and shutdown
                      stay centralized.
+  no-direct-engine   No `RiskEngine::Create` outside src/service/ — library
+                     code goes through the resident RiskService (or the
+                     RiskSession adapter) so per-owner state, carry, and
+                     deprecation stay behind one front door (DESIGN.md §13).
 
 Usage:
   tools/sight_lint.py                 # lint src/ under the repo root
@@ -37,6 +41,10 @@ ALLOWLIST = {
     # util/logging.h is the sanctioned diagnostic sink; it owns the one
     # permitted stderr write (via fprintf, but keep it exempt for clarity).
     "no-raw-stdio": {"util/logging.h"},
+    # The service owns the one resident engine; the engine's own files
+    # name the symbol in declarations/definitions.
+    "no-direct-engine": {"service/risk_service.cc", "core/risk_engine.h",
+                         "core/risk_engine.cc"},
 }
 
 # Function declarations returning Status or Result<T>. Mirrors the shape of
@@ -240,12 +248,26 @@ def check_value(rel, lines, violations):
                     " process"))
 
 
+def check_direct_engine(rel, lines, violations):
+    if rel in ALLOWLIST["no-direct-engine"]:
+        return
+    pat = re.compile(r"\bRiskEngine\s*::\s*Create\b")
+    for idx, line in enumerate(lines):
+        if pat.search(line):
+            violations.append(Violation(
+                rel, idx + 1, "no-direct-engine",
+                "direct RiskEngine::Create outside src/service/ — go"
+                " through RiskService (or the RiskSession adapter);"
+                " see DESIGN.md §13"))
+
+
 RULES = {
     "nodiscard-status": check_nodiscard,
     "no-exceptions": check_exceptions,
     "no-raw-stdio": check_stdio,
     "checked-value": check_value,
     "no-raw-thread": check_thread,
+    "no-direct-engine": check_direct_engine,
 }
 
 
