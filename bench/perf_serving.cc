@@ -3,20 +3,30 @@
 // BENCH_serving.json.
 //
 // A Crawler trace (one owner, strangers surfacing in batches) is
-// replayed twice. The service path submits each batch as an OwnerEvent
-// and picks up the versioned snapshot with WaitFor; resident state
-// (labels, warm-start scores, carried PoolLearners) persists across
-// ticks. The baseline path is the rebuild-per-tick legacy shape:
-// RiskSession, which keeps labels and warm-start seeds but rebuilds
-// every pool's codec, similarity matrix, and learner on each Assess.
+// replayed three times:
+//
+//   service   full resident arm: carried PoolLearners PLUS the carried
+//             pool partition and owner-level encoded stranger table
+//             (DESIGN.md §14) — an unchanged stranger set reuses the
+//             partition outright, a grown one routes only the new
+//             suffix through carried squeezers, and each tick encodes
+//             only newly discovered strangers.
+//   carried   the learner-carry-only arm (carry_pool_partition and
+//             carry_encoded_tables off): what serving looked like
+//             before the partition/encode caches landed.
+//   baseline  rebuild-per-tick legacy shape: RiskSession, which keeps
+//             labels and warm-start seeds but rebuilds every pool's
+//             codec, similarity matrix, and learner on each Assess.
 //
 // The headline number is steady-state throughput: once discovery is
 // exhausted and the owner's answers have reached a fixpoint, a serving
-// workload keeps asking "what is my risk now". The service answers
-// from carried learners (no encode, no matrix build, no solve rounds);
-// the baseline re-runs the whole pipeline. The harness FATALs unless
-// the service sustains >= 3x the baseline's assessments/sec, and
-// FATALs if AssessNow ever diverges bitwise from a cold batch
+// workload keeps asking "what is my risk now". The harness FATALs
+// unless the full arm sustains >= 6x the rebuild baseline and >= 2x
+// the learner-carry-only arm on the unchanged-stranger-set trace,
+// FATALs if the carried partition/encode paths ever diverge bitwise
+// from the cache-free arm, FATALs unless the encode and partition
+// caches each report at least one steady-state hit, and FATALs if
+// AssessNow diverges bitwise from a cold batch
 // RiskEngine::AssessStrangers over identical inputs.
 //
 // A multi-owner section replays one assess event per owner across a
@@ -96,23 +106,36 @@ bool ReportsBitwiseEqual(const RiskReport& a, const RiskReport& b) {
 struct CrawlRow {
   size_t tick = 0;
   size_t discovered_total = 0;
-  double service_ms = 0.0;
-  double baseline_ms = 0.0;
+  double service_ms = 0.0;   // full arm: all carries on
+  double carried_ms = 0.0;   // learner-carry-only arm
+  double baseline_ms = 0.0;  // rebuild-per-tick RiskSession
   size_t service_queries = 0;   // new oracle questions this tick
   size_t baseline_queries = 0;
-  size_t pools_carried = 0;     // service path only
+  size_t pools_carried = 0;     // full arm
+  // Per-tick carry telemetry of the full arm (stats deltas).
+  size_t partition_hits = 0;
+  size_t partition_misses = 0;
+  size_t encode_hits = 0;
+  size_t encode_misses = 0;
+  size_t encode_rows_appended = 0;
   unsigned hardware_concurrency = 0;
 };
 
 struct SteadyResult {
   size_t ticks = 0;
   size_t pools_total = 0;
-  size_t pools_carried = 0;  // in the last service tick
+  size_t pools_carried = 0;  // in the last full-arm tick
   double service_ms_total = 0.0;
+  double carried_ms_total = 0.0;
   double baseline_ms_total = 0.0;
   double service_per_sec = 0.0;
+  double carried_per_sec = 0.0;
   double baseline_per_sec = 0.0;
-  double speedup = 0.0;
+  double speedup = 0.0;              // full arm vs rebuild baseline
+  double speedup_vs_carried = 0.0;   // full arm vs learner-carry-only
+  // Partition/encode cache hits of the full arm during the steady loop.
+  size_t partition_hits = 0;
+  size_t encode_hits = 0;
   unsigned hardware_concurrency = 0;
 };
 
@@ -129,6 +152,11 @@ struct TraceStudy {
   std::vector<CrawlRow> crawl;
   SteadyResult steady;
   bool assess_now_bitwise_equal = false;
+  /// Full arm (partition+encode caches) vs learner-carry-only arm,
+  /// compared bitwise on every crawl tick and after the steady loop.
+  bool carried_vs_cold_bitwise_equal = false;
+  /// Final carry-cache counters of the full arm, whole trace.
+  RiskService::Stats full_arm_stats;
 };
 
 TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
@@ -141,8 +169,11 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
   Rng attitude_rng(5);
   sim::OwnerAttitude attitude = sim::SampleOwnerAttitude(&attitude_rng);
   // Independent oracle instances per path: OwnerModel answers are a
-  // pure function of the profiles, so both paths hear the same owner.
+  // pure function of the profiles, so every path hears the same owner.
   auto service_oracle =
+      sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
+          .value();
+  auto carried_oracle =
       sim::OwnerModel::Create(attitude, &ds.profiles, &ds.visibility)
           .value();
   auto baseline_oracle =
@@ -154,7 +185,8 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
   engine_config.learner.confidence = attitude.confidence;
   engine_config.theta = attitude.theta;
 
-  // Resident service: one owner, one background worker, carry on.
+  // Full resident arm: one owner, one background worker, every
+  // cross-tick carry on (learners + pool partition + encoded tables).
   RiskServiceConfig service_config;
   service_config.engine = engine_config;
   service_config.num_shards = 1;
@@ -168,6 +200,16 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
   registration.oracle = &service_oracle;
   registration.rng_seed = 99;
   SIGHT_CHECK(service->RegisterOwner(registration).ok());
+
+  // Learner-carry-only arm: the pre-§14 resident shape. Same seeds, so
+  // any bitwise divergence from the full arm indicts the new caches.
+  RiskServiceConfig carried_config = service_config;
+  carried_config.carry_pool_partition = false;
+  carried_config.carry_encoded_tables = false;
+  auto carried = RiskService::Create(carried_config).value();
+  OwnerRegistration carried_registration = registration;
+  carried_registration.oracle = &carried_oracle;
+  SIGHT_CHECK(carried->RegisterOwner(carried_registration).ok());
 
   // Rebuild-per-tick baseline: RiskSession keeps labels and warm-start
   // seeds across Assess calls but re-runs encode/matrix/rounds for
@@ -185,10 +227,15 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
       sim::Crawler::Create(ds.graph, ds.owner, crawl_config, &crawl_rng)
           .value();
 
-  // --- Crawl replay: both paths see the identical discovery trace.
+  // --- Crawl replay: all three paths see the identical discovery
+  // trace. The full arm is gated bitwise against the learner-carry-only
+  // arm on every tick: the partition/encode caches must be invisible in
+  // the output.
+  study.carried_vs_cold_bitwise_equal = true;
   uint64_t version = 0;
   size_t service_queries_before = 0;
   size_t baseline_queries_before = 0;
+  RiskService::Stats stats_before = service->stats();
   while (!crawler.done()) {
     std::vector<UserId> batch = crawler.Tick();
     CrawlRow row;
@@ -203,12 +250,39 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
       SIGHT_CHECK(service->Submit(std::move(event)).ok());
       snapshot = service->WaitFor(ds.owner, version + 1).value();
     });
-    ++version;
     SIGHT_CHECK(snapshot->status.ok());
     row.pools_carried = snapshot->report.assessment.pools_carried;
     row.service_queries =
         service_oracle.num_queries() - service_queries_before;
     service_queries_before = service_oracle.num_queries();
+    RiskService::Stats stats_now = service->stats();
+    row.partition_hits = stats_now.partition_hits - stats_before.partition_hits;
+    row.partition_misses =
+        stats_now.partition_misses - stats_before.partition_misses;
+    row.encode_hits = stats_now.encode_hits - stats_before.encode_hits;
+    row.encode_misses = stats_now.encode_misses - stats_before.encode_misses;
+    row.encode_rows_appended =
+        stats_now.encode_rows_appended - stats_before.encode_rows_appended;
+    stats_before = stats_now;
+
+    std::shared_ptr<const AssessmentSnapshot> carried_snapshot;
+    row.carried_ms = TimeMs([&] {
+      OwnerEvent event;
+      event.owner = ds.owner;
+      event.discovered = batch;
+      SIGHT_CHECK(carried->Submit(std::move(event)).ok());
+      carried_snapshot = carried->WaitFor(ds.owner, version + 1).value();
+    });
+    ++version;
+    SIGHT_CHECK(carried_snapshot->status.ok());
+    if (!ReportsBitwiseEqual(snapshot->report, carried_snapshot->report)) {
+      study.carried_vs_cold_bitwise_equal = false;
+      std::fprintf(stderr,
+                   "FATAL: carried partition/encode tick %zu diverges "
+                   "bitwise from the cache-free arm\n",
+                   row.tick);
+      std::exit(1);
+    }
 
     RiskReport baseline_report;
     row.baseline_ms = TimeMs([&] {
@@ -222,9 +296,11 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
 
     row.discovered_total = crawler.discovered().size();
     std::printf("crawl     tick=%zu discovered=%-5zu service=%9.2fms "
-                "(carried %zu, %zu q)  baseline=%9.2fms (%zu q)\n",
+                "(carried %zu, enc+%zu, %zu q)  learner-only=%9.2fms  "
+                "baseline=%9.2fms (%zu q)\n",
                 row.tick, row.discovered_total, row.service_ms,
-                row.pools_carried, row.service_queries, row.baseline_ms,
+                row.pools_carried, row.encode_rows_appended,
+                row.service_queries, row.carried_ms, row.baseline_ms,
                 row.baseline_queries);
     study.crawl.push_back(row);
   }
@@ -268,12 +344,22 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
 
   // --- Steady state: discovery is done; drive assess-only requests
   // until the owner's answers reach a fixpoint (no new oracle
-  // questions on either path), then measure throughput.
+  // questions on any path), then measure throughput. Each steady tick
+  // re-assesses an unchanged stranger set, so the full arm's partition
+  // and encode caches must hit on every one of them.
+  uint64_t carried_version = version;
   for (size_t warm = 0; warm < 8; ++warm) {
     Rng rng(7);
     RiskReport report =
         service->AssessSync(ds.owner, &service_oracle, &rng).value();
     ++version;
+    if (report.assessment.total_queries == 0) break;
+  }
+  for (size_t warm = 0; warm < 8; ++warm) {
+    Rng rng(7);
+    RiskReport report =
+        carried->AssessSync(ds.owner, &carried_oracle, &rng).value();
+    ++carried_version;
     if (report.assessment.total_queries == 0) break;
   }
   for (size_t warm = 0; warm < 8; ++warm) {
@@ -285,6 +371,7 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
   SteadyResult& steady = study.steady;
   steady.ticks = steady_ticks;
   steady.hardware_concurrency = hc;
+  RiskService::Stats steady_stats_before = service->stats();
   steady.service_ms_total = TimeMs([&] {
     for (size_t i = 0; i < steady_ticks; ++i) {
       OwnerEvent event;
@@ -297,6 +384,21 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
       steady.pools_carried = snapshot->report.assessment.pools_carried;
     }
   });
+  RiskService::Stats steady_stats_now = service->stats();
+  steady.partition_hits =
+      steady_stats_now.partition_hits - steady_stats_before.partition_hits;
+  steady.encode_hits =
+      steady_stats_now.encode_hits - steady_stats_before.encode_hits;
+  steady.carried_ms_total = TimeMs([&] {
+    for (size_t i = 0; i < steady_ticks; ++i) {
+      OwnerEvent event;
+      event.owner = ds.owner;
+      SIGHT_CHECK(carried->Submit(std::move(event)).ok());
+      auto snapshot = carried->WaitFor(ds.owner, carried_version + 1).value();
+      ++carried_version;
+      SIGHT_CHECK(snapshot->status.ok());
+    }
+  });
   steady.baseline_ms_total = TimeMs([&] {
     for (size_t i = 0; i < steady_ticks; ++i) {
       RiskReport report =
@@ -304,24 +406,57 @@ TraceStudy RunTraceStudy(size_t num_strangers, size_t batch_size,
       SIGHT_CHECK(report.num_strangers == crawler.discovered().size());
     }
   });
+  // The steady loops must not have nudged the two resident arms apart.
+  if (!ReportsBitwiseEqual(service->Poll(ds.owner)->report,
+                           carried->Poll(ds.owner)->report)) {
+    study.carried_vs_cold_bitwise_equal = false;
+    std::fprintf(stderr,
+                 "FATAL: carried partition/encode steady state diverges "
+                 "bitwise from the cache-free arm\n");
+    std::exit(1);
+  }
   steady.service_per_sec = 1000.0 * static_cast<double>(steady_ticks) /
                            steady.service_ms_total;
+  steady.carried_per_sec = 1000.0 * static_cast<double>(steady_ticks) /
+                           steady.carried_ms_total;
   steady.baseline_per_sec = 1000.0 * static_cast<double>(steady_ticks) /
                             steady.baseline_ms_total;
   steady.speedup = steady.service_per_sec / steady.baseline_per_sec;
+  steady.speedup_vs_carried = steady.service_per_sec / steady.carried_per_sec;
   std::printf("steady    %zu ticks: service=%9.2fms (%.1f/s, %zu/%zu pools "
-              "carried)  baseline=%9.2fms (%.1f/s)  speedup=%.2fx\n",
+              "carried, %zu part hits, %zu enc hits)  learner-only="
+              "%9.2fms (%.1f/s)  baseline=%9.2fms (%.1f/s)\n",
               steady.ticks, steady.service_ms_total, steady.service_per_sec,
-              steady.pools_carried, steady.pools_total,
-              steady.baseline_ms_total, steady.baseline_per_sec,
-              steady.speedup);
-  if (steady.speedup < 3.0) {
+              steady.pools_carried, steady.pools_total, steady.partition_hits,
+              steady.encode_hits, steady.carried_ms_total,
+              steady.carried_per_sec, steady.baseline_ms_total,
+              steady.baseline_per_sec);
+  std::printf("steady    speedup=%.2fx vs rebuild baseline, %.2fx vs "
+              "learner-carry-only\n",
+              steady.speedup, steady.speedup_vs_carried);
+  if (steady.speedup < 6.0) {
     std::fprintf(stderr,
                  "FATAL: steady-state serving speedup %.2fx is below the "
-                 "3x bar over the rebuild-per-tick baseline\n",
+                 "6x bar over the rebuild-per-tick baseline\n",
                  steady.speedup);
     std::exit(1);
   }
+  if (steady.speedup_vs_carried < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: unchanged-stranger-set speedup %.2fx is below the "
+                 "2x bar over the learner-carry-only arm\n",
+                 steady.speedup_vs_carried);
+    std::exit(1);
+  }
+  if (steady.encode_hits < 1 || steady.partition_hits < 1) {
+    std::fprintf(stderr,
+                 "FATAL: steady-state trace reported %zu encode / %zu "
+                 "partition cache hits; the carried paths never fired\n",
+                 steady.encode_hits, steady.partition_hits);
+    std::exit(1);
+  }
+  study.full_arm_stats = service->stats();
+  carried->Shutdown();
   service->Shutdown();
   return study;
 }
@@ -410,10 +545,16 @@ bool WriteJson(const std::string& path, const TraceStudy& study,
     const CrawlRow& r = study.crawl[i];
     out << "    {\"tick\": " << r.tick << ", \"discovered_total\": "
         << r.discovered_total << ", \"service_ms\": " << JsonNum(r.service_ms)
+        << ", \"carried_ms\": " << JsonNum(r.carried_ms)
         << ", \"baseline_ms\": " << JsonNum(r.baseline_ms)
         << ", \"service_queries\": " << r.service_queries
         << ", \"baseline_queries\": " << r.baseline_queries
         << ", \"pools_carried\": " << r.pools_carried
+        << ", \"partition_carried\": {\"hits\": " << r.partition_hits
+        << ", \"misses\": " << r.partition_misses << "}"
+        << ", \"encode_carried\": {\"hits\": " << r.encode_hits
+        << ", \"misses\": " << r.encode_misses << ", \"rows_appended\": "
+        << r.encode_rows_appended << "}"
         << ", \"hardware_concurrency\": " << r.hardware_concurrency << "}"
         << (i + 1 < study.crawl.size() ? "," : "") << "\n";
   }
@@ -422,14 +563,27 @@ bool WriteJson(const std::string& path, const TraceStudy& study,
   out << "  \"steady_state\": {\"ticks\": " << s.ticks
       << ", \"pools_total\": " << s.pools_total
       << ", \"pools_carried\": " << s.pools_carried
+      << ", \"partition_hits\": " << s.partition_hits
+      << ", \"encode_hits\": " << s.encode_hits
       << ", \"service_ms_total\": " << JsonNum(s.service_ms_total)
+      << ", \"carried_ms_total\": " << JsonNum(s.carried_ms_total)
       << ", \"baseline_ms_total\": " << JsonNum(s.baseline_ms_total)
       << ", \"service_assessments_per_sec\": " << JsonNum(s.service_per_sec)
+      << ", \"carried_assessments_per_sec\": " << JsonNum(s.carried_per_sec)
       << ", \"baseline_assessments_per_sec\": " << JsonNum(s.baseline_per_sec)
       << ", \"speedup\": " << JsonNum(s.speedup)
+      << ", \"speedup_vs_carried\": " << JsonNum(s.speedup_vs_carried)
       << ", \"hardware_concurrency\": " << s.hardware_concurrency << "},\n";
+  const RiskService::Stats& fs = study.full_arm_stats;
+  out << "  \"carry_stats\": {\"partition_hits\": " << fs.partition_hits
+      << ", \"partition_misses\": " << fs.partition_misses
+      << ", \"encode_hits\": " << fs.encode_hits
+      << ", \"encode_misses\": " << fs.encode_misses
+      << ", \"encode_rows_appended\": " << fs.encode_rows_appended << "},\n";
   out << "  \"assess_now_bitwise_equal\": "
       << (study.assess_now_bitwise_equal ? "true" : "false") << ",\n";
+  out << "  \"carried_vs_cold_bitwise_equal\": "
+      << (study.carried_vs_cold_bitwise_equal ? "true" : "false") << ",\n";
   out << "  \"multi_owner\": [\n";
   for (size_t i = 0; i < multi.size(); ++i) {
     const ThreadPoint& p = multi[i];
@@ -446,10 +600,14 @@ bool WriteJson(const std::string& path, const TraceStudy& study,
   out << "  ],\n";
   out << "  \"summary\": {\n";
   out << "    \"steady_state_speedup\": " << JsonNum(s.speedup) << ",\n";
+  out << "    \"steady_state_speedup_vs_carried\": "
+      << JsonNum(s.speedup_vs_carried) << ",\n";
   out << "    \"steady_state_service_assessments_per_sec\": "
       << JsonNum(s.service_per_sec) << ",\n";
   out << "    \"assess_now_bitwise_equal\": "
-      << (study.assess_now_bitwise_equal ? "true" : "false") << "\n";
+      << (study.assess_now_bitwise_equal ? "true" : "false") << ",\n";
+  out << "    \"carried_vs_cold_bitwise_equal\": "
+      << (study.carried_vs_cold_bitwise_equal ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
   return out.good();

@@ -7,8 +7,11 @@
 // applies it and assesses, and the crawler thread picks up the versioned
 // snapshot with WaitFor. Every answer the owner has already given
 // carries over — the owner is never asked about the same stranger
-// twice — and pools untouched by a batch reuse their carried learners
-// outright (no matrix rebuild, no re-convergence rounds).
+// twice — pools untouched by a batch reuse their carried learners
+// outright (no matrix rebuild, no re-convergence rounds), and the pool
+// partition and encoded stranger table are resident too: each day only
+// the newly discovered strangers are encoded and routed through the
+// carried clusters (DESIGN.md §14).
 
 #include <cstdio>
 
@@ -100,8 +103,9 @@ int main() {
   size_t labels = service->NumKnownLabels(dataset.owner).value_or(0);
   size_t strangers = service->NumStrangers(dataset.owner).value_or(1);
   std::printf("\nowner answered %zu questions for %zu strangers (%.1f%%); "
-              "labels and finished pool learners persist across ticks, so "
-              "each new day only pays for its new strangers.\n",
+              "labels, finished pool learners, the pool partition, and "
+              "the encoded stranger table persist across ticks, so each "
+              "new day only pays for its new strangers.\n",
               labels, strangers,
               100.0 * static_cast<double>(labels) /
                   static_cast<double>(strangers));

@@ -117,13 +117,18 @@ double Squeezer::Similarity(const Profile& profile,
   return sim;
 }
 
-Result<Clustering> Squeezer::Cluster(const ProfileTable& table,
-                                     const std::vector<UserId>& users) const {
+Result<IncrementalSqueezer> Squeezer::MakeIncremental(
+    const ProfileSchema& schema) const {
   SqueezerConfig config;
   config.threshold = threshold_;
   config.weights = weights_;
+  return IncrementalSqueezer::Create(schema, std::move(config));
+}
+
+Result<Clustering> Squeezer::Cluster(const ProfileTable& table,
+                                     const std::vector<UserId>& users) const {
   SIGHT_ASSIGN_OR_RETURN(IncrementalSqueezer incremental,
-                         IncrementalSqueezer::Create(table.schema(), config));
+                         MakeIncremental(table.schema()));
   SIGHT_RETURN_IF_ERROR(incremental.AddBatch(table, users).status());
   return incremental.clustering();
 }

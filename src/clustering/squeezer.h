@@ -104,6 +104,8 @@ struct SqueezerConfig {
   std::vector<double> weights;
 };
 
+class IncrementalSqueezer;
+
 /// One-pass categorical clusterer.
 class Squeezer {
  public:
@@ -133,6 +135,15 @@ class Squeezer {
   [[nodiscard]]
   Result<Clustering> Cluster(const ProfileTable& table,
                              const std::vector<UserId>& users) const;
+
+  /// An empty IncrementalSqueezer configured exactly as Cluster()'s
+  /// internal one (same threshold, same weight-normalization chain), so
+  /// feeding it a sequence in batches yields the clustering Cluster()
+  /// computes for the whole sequence, bitwise — the carried-partition
+  /// arrangement of the serving flow (DESIGN.md §14).
+  [[nodiscard]]
+  Result<IncrementalSqueezer> MakeIncremental(
+      const ProfileSchema& schema) const;
 
   double threshold() const { return threshold_; }
   const std::vector<double>& normalized_weights() const { return weights_; }

@@ -32,6 +32,7 @@
 #include "core/pool_builder.h"
 #include "core/risk_label.h"
 #include "graph/profile.h"
+#include "graph/profile_codec.h"
 #include "graph/types.h"
 #include "learning/classifier.h"
 #include "learning/sampling.h"
@@ -332,7 +333,12 @@ class ActiveLearner {
   /// supplies retained learners from the previous tick: pools that
   /// CanResume one skip the matrix build entirely; retained learners are
   /// consumed whether or not they match (call HarvestInto after Run to
-  /// refill the carry for the next tick).
+  /// refill the carry for the next tick). `encode` (optional) is the
+  /// owner-level encoded stranger table (refreshed against `profiles`
+  /// this tick); pools gather their member rows from it instead of
+  /// re-encoding per pool — bitwise-identical because profile similarity
+  /// only sees code equality and per-value frequencies, both invariant
+  /// under the codec swap.
   [[nodiscard]]
   static Result<ActiveLearner> Create(
       const PoolSet& pools, const ProfileTable& profiles,
@@ -340,7 +346,8 @@ class ActiveLearner {
       const GraphClassifier* classifier, const Sampler* sampler,
       const PoolLearner::KnownLabels* known_labels = nullptr,
       const PoolLearner::KnownLabels* prior_scores = nullptr,
-      LearnerCarry* carry = nullptr);
+      LearnerCarry* carry = nullptr,
+      const StrangerEncodeCache* encode = nullptr);
 
   /// Runs every pool to completion.
   [[nodiscard]] Result<AssessmentResult> Run(LabelOracle* oracle, Rng* rng);

@@ -11,6 +11,8 @@
 #ifndef SIGHT_CORE_POOL_BUILDER_H_
 #define SIGHT_CORE_POOL_BUILDER_H_
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "clustering/squeezer.h"
@@ -64,6 +66,65 @@ struct PoolBuilderConfig {
   ThreadPool* thread_pool = nullptr;
 };
 
+/// Resident partition stage of the serving flow (DESIGN.md §14): the
+/// NS values, NSG bins, and per-group IncrementalSqueezer summaries of
+/// one owner's stranger list, carried across crawler ticks. Because
+/// Squeezer is one-pass (Squeezer::Cluster literally delegates to
+/// IncrementalSqueezer::AddBatch), clustering a carried prefix and then
+/// feeding only the newly discovered suffix yields bitwise the same
+/// partition as re-clustering the whole list — so an unchanged stranger
+/// set reuses the partition outright and a grown one pays only for its
+/// suffix. A fingerprint (graph/profile pointers + mutation epochs,
+/// owner, builder configuration) guards staleness; any mismatch falls
+/// back to a cold rebuild through the same per-element path.
+///
+/// One cache serves one owner under one builder configuration. Not
+/// thread-safe; the service keys it under the owner's state mutex.
+class PoolPartitionCache {
+ public:
+  struct Stats {
+    /// Refreshes that reused the carried partition with no new strangers.
+    size_t hits_identical = 0;
+    /// Refreshes that reused it and routed a suffix of new strangers
+    /// through the carried squeezers.
+    size_t hits_grown = 0;
+    /// Cold rebuilds (first use, fingerprint mismatch, broken prefix).
+    size_t misses = 0;
+  };
+
+  PoolPartitionCache() = default;
+  PoolPartitionCache(PoolPartitionCache&&) = default;
+  PoolPartitionCache& operator=(PoolPartitionCache&&) = default;
+
+  const Stats& stats() const { return stats_; }
+  size_t num_strangers() const { return strangers_.size(); }
+
+  /// Drops the carried partition; the next build is a cold rebuild.
+  void Clear();
+
+ private:
+  friend class PoolBuilder;
+
+  bool valid_ = false;
+  // Fingerprint of the inputs the carried partition was derived from.
+  const SocialGraph* graph_ = nullptr;
+  uint64_t graph_epoch_ = 0;
+  const ProfileTable* profiles_ = nullptr;
+  uint64_t profile_epoch_ = 0;
+  UserId owner_ = kInvalidUser;
+  size_t alpha_ = 0;
+  double beta_ = 0.0;
+  PoolStrategy strategy_ = PoolStrategy::kNetworkAndProfile;
+  std::vector<double> attribute_weights_;
+  NetworkSimilarityConfig ns_config_;
+  // Carried state, parallel prefixes of the owner's stranger list.
+  std::vector<UserId> strangers_;
+  std::vector<double> ns_;
+  std::vector<std::vector<UserId>> group_members_;          // [alpha]
+  std::vector<std::optional<IncrementalSqueezer>> squeezers_;  // [alpha], NPP
+  Stats stats_;
+};
+
 /// Builds the Definition 3 pool set for an owner.
 class PoolBuilder {
  public:
@@ -82,6 +143,21 @@ class PoolBuilder {
   Result<PoolSet> BuildForStrangers(const SocialGraph& graph,
                                     const ProfileTable& profiles, UserId owner,
                                     std::vector<UserId> strangers) const;
+
+  /// BuildForStrangers through a carried partition: when `cache` still
+  /// fingerprints to (graph, profiles, owner, this config) and its
+  /// carried strangers are a prefix of `strangers`, only the new suffix
+  /// is NS-scored, binned, and squeezed; otherwise the cache is rebuilt
+  /// from scratch. The returned PoolSet is bitwise-identical to
+  /// BuildForStrangers on every path — pools materialize in the same
+  /// (group, cluster) order with members in the same insertion order.
+  /// On error the cache is invalidated (next call rebuilds).
+  [[nodiscard]]
+  Result<PoolSet> BuildForStrangersCached(const SocialGraph& graph,
+                                          const ProfileTable& profiles,
+                                          UserId owner,
+                                          std::vector<UserId> strangers,
+                                          PoolPartitionCache* cache) const;
 
   const PoolBuilderConfig& config() const { return config_; }
 

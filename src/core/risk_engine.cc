@@ -5,6 +5,37 @@
 
 namespace sight {
 
+void AssessCarry::Clear() {
+  learners.Clear();
+  partition.Clear();
+  encode.Clear();
+  graph_ = nullptr;
+  profiles_ = nullptr;
+  visibility_ = nullptr;
+}
+
+void AssessCarry::InvalidateOnUpstreamChange(
+    const SocialGraph& graph, const ProfileTable& profiles,
+    const VisibilityTable& visibility) {
+  // Carried learners bake in profile-similarity matrices (profiles),
+  // display similarities (graph) and display benefits (visibility);
+  // their CanResume fingerprint only sees pool membership and labels, so
+  // any upstream edit drops them here. The partition and encode caches
+  // re-check their own fingerprints per build and need no help.
+  bool changed = graph_ != &graph || graph_epoch_ != graph.mutation_epoch() ||
+                 profiles_ != &profiles ||
+                 profile_epoch_ != profiles.mutation_epoch() ||
+                 visibility_ != &visibility ||
+                 visibility_epoch_ != visibility.mutation_epoch();
+  if (changed) learners.Clear();
+  graph_ = &graph;
+  graph_epoch_ = graph.mutation_epoch();
+  profiles_ = &profiles;
+  profile_epoch_ = profiles.mutation_epoch();
+  visibility_ = &visibility;
+  visibility_epoch_ = visibility.mutation_epoch();
+}
+
 RiskEngine::RiskEngine(RiskEngineConfig config)
     : config_(std::move(config)) {}
 
@@ -92,7 +123,7 @@ Result<RiskReport> RiskEngine::AssessIncremental(
     const VisibilityTable& visibility, UserId owner,
     std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
     const PoolLearner::KnownLabels* known_labels,
-    const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const {
+    const PoolLearner::KnownLabels* prior_scores, AssessCarry* carry) const {
   SIGHT_CHECK(carry != nullptr);
   return AssessImpl(graph, profiles, visibility, owner, std::move(strangers),
                     oracle, rng, known_labels, prior_scores, carry);
@@ -103,31 +134,64 @@ Result<RiskReport> RiskEngine::AssessImpl(
     const VisibilityTable& visibility, UserId owner,
     std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
     const PoolLearner::KnownLabels* known_labels,
-    const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const {
+    const PoolLearner::KnownLabels* prior_scores, AssessCarry* carry) const {
+  RiskReport report;
+  if (carry != nullptr) {
+    carry->InvalidateOnUpstreamChange(graph, profiles, visibility);
+  }
+
   PoolBuilderConfig pool_config = config_.pools;
   pool_config.thread_pool = effective_pool();
   SIGHT_ASSIGN_OR_RETURN(PoolBuilder builder,
                          PoolBuilder::Create(std::move(pool_config)));
-  SIGHT_ASSIGN_OR_RETURN(
-      PoolSet pools,
-      builder.BuildForStrangers(graph, profiles, owner, std::move(strangers)));
+  PoolSet pools;
+  if (carry != nullptr && carry->use_partition) {
+    size_t known = carry->partition.num_strangers();
+    size_t total = strangers.size();
+    size_t misses_before = carry->partition.stats().misses;
+    SIGHT_ASSIGN_OR_RETURN(
+        pools, builder.BuildForStrangersCached(graph, profiles, owner,
+                                               std::move(strangers),
+                                               &carry->partition));
+    // The cache's own counters are the ground truth: a cold rebuild of
+    // an already-full cache leaves num_strangers() unchanged and would
+    // otherwise masquerade as a reuse.
+    report.carry.partition_reused =
+        carry->partition.stats().misses == misses_before;
+    report.carry.partition_new_strangers =
+        report.carry.partition_reused ? total - known : total;
+  } else {
+    SIGHT_ASSIGN_OR_RETURN(pools,
+                           builder.BuildForStrangers(graph, profiles, owner,
+                                                     std::move(strangers)));
+  }
 
   SIGHT_ASSIGN_OR_RETURN(BenefitModel benefit,
                          BenefitModel::Create(config_.theta));
   std::vector<double> benefits =
       benefit.ComputeBatch(visibility, pools.strangers);
 
+  const StrangerEncodeCache* encode = nullptr;
+  if (carry != nullptr && carry->use_encode) {
+    StrangerEncodeCache::RefreshResult refreshed =
+        carry->encode.Refresh(profiles, pools.strangers);
+    report.carry.encode_reused = refreshed.reused;
+    report.carry.encode_rows_appended = refreshed.rows_appended;
+    encode = &carry->encode;
+  }
+
   ActiveLearnerConfig learner_config = config_.learner;
   learner_config.thread_pool = effective_pool();
+  LearnerCarry* learners =
+      carry != nullptr && carry->use_learners ? &carry->learners : nullptr;
   SIGHT_ASSIGN_OR_RETURN(
       ActiveLearner learner,
       ActiveLearner::Create(pools, profiles, std::move(benefits),
                             learner_config, classifier_.get(), sampler_.get(),
-                            known_labels, prior_scores, carry));
+                            known_labels, prior_scores, learners, encode));
 
-  RiskReport report;
   SIGHT_ASSIGN_OR_RETURN(report.assessment, learner.Run(oracle, rng));
-  if (carry != nullptr) learner.HarvestInto(carry);
+  if (learners != nullptr) learner.HarvestInto(learners);
   report.num_strangers = pools.TotalStrangers();
   report.num_pools = pools.pools.size();
   report.pool_sizes.reserve(pools.pools.size());

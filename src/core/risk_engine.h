@@ -83,6 +83,21 @@ struct RiskEngineConfig {
   ThreadPool* thread_pool = nullptr;
 };
 
+/// What the resident caches did for one assessment (all zero/false on
+/// cold paths).
+struct CarryTelemetry {
+  /// The carried pool partition was reused (identical or grown set).
+  bool partition_reused = false;
+  /// Strangers routed through the carried squeezers this tick (the
+  /// whole list on a partition rebuild).
+  size_t partition_new_strangers = 0;
+  /// The carried owner-level encode was reused (rows appended, not
+  /// rebuilt).
+  bool encode_reused = false;
+  /// Rows the encode stage actually encoded this tick.
+  size_t encode_rows_appended = 0;
+};
+
 /// Everything produced by one owner assessment.
 struct RiskReport {
   AssessmentResult assessment;
@@ -90,6 +105,45 @@ struct RiskReport {
   std::vector<size_t> pool_sizes;
   size_t num_strangers = 0;
   size_t num_pools = 0;
+  CarryTelemetry carry;
+};
+
+/// Cross-tick carry bundle for one owner (the resident-service flow,
+/// DESIGN.md §14): the finished PoolLearners of the previous tick, the
+/// carried NS/NSG/Squeezer pool partition, and the owner-level encoded
+/// profile table. Each layer fingerprints its own inputs and falls back
+/// to a cold rebuild independently; on top of that, the engine drops the
+/// learner carry whenever the graph, profile, or visibility tables
+/// mutated since the carry was filled (their fingerprints cannot see
+/// upstream edits that keep pool membership stable). The use_* flags let
+/// callers (bench arms, equivalence tests) disable individual layers;
+/// results are bitwise-identical at every setting.
+struct AssessCarry {
+  LearnerCarry learners;
+  PoolPartitionCache partition;
+  StrangerEncodeCache encode;
+  bool use_learners = true;
+  bool use_partition = true;
+  bool use_encode = true;
+
+  /// Drops all carried state (fingerprints re-arm on the next tick).
+  void Clear();
+
+  /// Drops the learner carry when any upstream table's identity or
+  /// mutation epoch changed since the last call; records the current
+  /// epochs either way. Called by the engine at the top of every
+  /// incremental assessment.
+  void InvalidateOnUpstreamChange(const SocialGraph& graph,
+                                  const ProfileTable& profiles,
+                                  const VisibilityTable& visibility);
+
+ private:
+  const SocialGraph* graph_ = nullptr;
+  uint64_t graph_epoch_ = 0;
+  const ProfileTable* profiles_ = nullptr;
+  uint64_t profile_epoch_ = 0;
+  const VisibilityTable* visibility_ = nullptr;
+  uint64_t visibility_epoch_ = 0;
 };
 
 class RiskEngine {
@@ -124,22 +178,24 @@ class RiskEngine {
       const PoolLearner::KnownLabels* known_labels = nullptr,
       const PoolLearner::KnownLabels* prior_scores = nullptr) const;
 
-  /// AssessStrangers plus cross-tick learner reuse: finished
-  /// PoolLearners stashed in `carry` by a previous call are resumed
-  /// when their pool's member list and owner labels are unchanged
-  /// (stale state is rejected by those fingerprint checks), skipping
-  /// the encode/matrix-build/round loop entirely for stable pools.
-  /// After the run, the new learners are harvested back into `carry`
-  /// for the next tick. `carry` may be empty but not null; pass
-  /// distinct carries for distinct owners. Drives RiskService's warm
-  /// path; results are bitwise-identical to AssessStrangers.
+  /// AssessStrangers plus cross-tick reuse of the carry bundle:
+  /// finished PoolLearners stashed in `carry` by a previous call are
+  /// resumed when their pool's member list and owner labels are
+  /// unchanged (stale state is rejected by those fingerprint checks),
+  /// the pool partition is carried so an unchanged/grown stranger set
+  /// skips the NS/NSG/Squeezer rebuild, and the owner-level encode is
+  /// carried so only newly discovered strangers are re-encoded. After
+  /// the run, the new learners are harvested back into `carry` for the
+  /// next tick. `carry` may be empty but not null; pass distinct
+  /// carries for distinct owners. Drives RiskService's warm path;
+  /// results are bitwise-identical to AssessStrangers.
   [[nodiscard]]
   Result<RiskReport> AssessIncremental(
       const SocialGraph& graph, const ProfileTable& profiles,
       const VisibilityTable& visibility, UserId owner,
       std::vector<UserId> strangers, LabelOracle* oracle, Rng* rng,
       const PoolLearner::KnownLabels* known_labels,
-      const PoolLearner::KnownLabels* prior_scores, LearnerCarry* carry) const;
+      const PoolLearner::KnownLabels* prior_scores, AssessCarry* carry) const;
 
   const RiskEngineConfig& config() const { return config_; }
 
@@ -154,7 +210,7 @@ class RiskEngine {
                                 LabelOracle* oracle, Rng* rng,
                                 const PoolLearner::KnownLabels* known_labels,
                                 const PoolLearner::KnownLabels* prior_scores,
-                                LearnerCarry* carry) const;
+                                AssessCarry* carry) const;
 
   /// The pool the pipeline phases run on: the caller's, else the engine's
   /// own (num_threads != 1), else null (serial).

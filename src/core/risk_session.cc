@@ -22,8 +22,11 @@ Result<RiskSession> RiskSession::Create(RiskEngineConfig config,
   service_config.engine = std::move(config);
   service_config.num_shards = 1;
   // The legacy session rebuilds every pool each Assess; keep that
-  // behavior (and its bitwise-identical reports) by disabling carry.
+  // behavior (and its bitwise-identical reports) by disabling every
+  // resident cache — learners, pool partition, and encoded tables.
   service_config.carry_learners = false;
+  service_config.carry_pool_partition = false;
+  service_config.carry_encoded_tables = false;
   SIGHT_ASSIGN_OR_RETURN(std::unique_ptr<RiskService> service,
                          RiskService::Create(std::move(service_config)));
   OwnerRegistration registration;

@@ -96,8 +96,9 @@ class RiskSession {
       : service_(std::move(service)), owner_(owner),
         labels_view_(labels_view) {}
 
-  /// Single-owner service: one shard, learner carry off (Assess keeps
-  /// the exact legacy rebuild-per-tick behavior), no background threads
+  /// Single-owner service: one shard, every cross-tick carry off —
+  /// learners, pool partition, encoded tables — so Assess keeps the
+  /// exact legacy rebuild-per-tick behavior; no background threads
   /// (the sync path never touches the worker pool).
   std::unique_ptr<RiskService> service_;
   UserId owner_ = kInvalidUser;

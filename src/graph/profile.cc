@@ -46,6 +46,7 @@ Status ProfileTable::Set(UserId user, Profile profile) {
     ++count_;
   }
   profiles_[user] = std::move(profile);
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -65,6 +66,7 @@ Status ProfileTable::SetValue(UserId user, AttributeId attr,
     ++count_;
   }
   profiles_[user].values[attr] = std::move(value);
+  ++mutation_epoch_;
   return Status::OK();
 }
 

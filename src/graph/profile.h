@@ -91,11 +91,18 @@ class ProfileTable {
     return static_cast<UserId>(profiles_.size());
   }
 
+  /// Counter bumped by every successful mutation (Set / SetValue). Caches
+  /// derived from the table (encoded rows, carried partitions) record the
+  /// epoch they were built at and fall back to a cold rebuild when it no
+  /// longer matches.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   ProfileSchema schema_;
   std::vector<Profile> profiles_;
   std::vector<bool> present_;
   size_t count_ = 0;
+  uint64_t mutation_epoch_ = 0;
   Profile missing_profile_;
 };
 

@@ -1,5 +1,8 @@
 #include "graph/profile_codec.h"
 
+#include <cstring>
+
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace sight {
@@ -57,6 +60,86 @@ EncodedProfileTable EncodedProfileTable::Build(const ProfileTable& table,
     out += num_attrs;
   }
   return result;
+}
+
+void EncodedProfileTable::AppendRows(const ProfileTable& table,
+                                     const std::vector<UserId>& users) {
+  SIGHT_CHECK(table.schema().num_attributes() == num_attributes_);
+  size_t old_rows = users_.size();
+  users_.insert(users_.end(), users.begin(), users.end());
+  codes_.resize(users_.size() * num_attributes_);
+  uint32_t* out = codes_.data() + old_rows * num_attributes_;
+  for (UserId u : users) {
+    codec_.EncodeInto(table.Get(u), out);
+    out += num_attributes_;
+  }
+}
+
+StrangerEncodeCache::RefreshResult StrangerEncodeCache::Refresh(
+    const ProfileTable& profiles, const std::vector<UserId>& strangers) {
+  RefreshResult result;
+  bool valid = encoded_.has_value() && source_ == &profiles &&
+               source_epoch_ == profiles.mutation_epoch() &&
+               encoded_->num_attributes() ==
+                   profiles.schema().num_attributes() &&
+               encoded_->num_rows() <= strangers.size();
+  if (valid) {
+    // The discovery list is append-only in the serving flow; anything
+    // else (reordering, removal) breaks the prefix and rebuilds.
+    const std::vector<UserId>& cached = encoded_->users();
+    for (size_t i = 0; i < cached.size(); ++i) {
+      if (cached[i] != strangers[i]) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    encoded_.emplace(EncodedProfileTable::Build(profiles, strangers));
+    row_of_.clear();
+    row_of_.reserve(strangers.size());
+    for (size_t i = 0; i < strangers.size(); ++i) row_of_[strangers[i]] = i;
+    source_ = &profiles;
+    source_epoch_ = profiles.mutation_epoch();
+    result.reused = false;
+    result.rows_appended = strangers.size();
+    return result;
+  }
+  size_t old_rows = encoded_->num_rows();
+  if (old_rows < strangers.size()) {
+    std::vector<UserId> suffix(strangers.begin() +
+                                   static_cast<ptrdiff_t>(old_rows),
+                               strangers.end());
+    encoded_->AppendRows(profiles, suffix);
+    for (size_t i = old_rows; i < strangers.size(); ++i) {
+      row_of_[strangers[i]] = i;
+    }
+  }
+  result.reused = true;
+  result.rows_appended = strangers.size() - old_rows;
+  return result;
+}
+
+bool StrangerEncodeCache::GatherRows(const std::vector<UserId>& users,
+                                     std::vector<uint32_t>* out) const {
+  if (!encoded_.has_value()) return false;
+  const size_t stride = encoded_->num_attributes();
+  out->resize(users.size() * stride);
+  uint32_t* dst = out->data();
+  for (UserId u : users) {
+    auto it = row_of_.find(u);
+    if (it == row_of_.end()) return false;
+    std::memcpy(dst, encoded_->row(it->second), stride * sizeof(uint32_t));
+    dst += stride;
+  }
+  return true;
+}
+
+void StrangerEncodeCache::Clear() {
+  encoded_.reset();
+  row_of_.clear();
+  source_ = nullptr;
+  source_epoch_ = 0;
 }
 
 }  // namespace sight

@@ -20,6 +20,7 @@
 #define SIGHT_GRAPH_PROFILE_CODEC_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,13 @@ class EncodedProfileTable {
                                    const std::vector<UserId>& users,
                                    const ProfileCodec* base = nullptr);
 
+  /// Appends one row per user, encoding through this table's codec.
+  /// Because interning is append-only, Build(prefix) + AppendRows(suffix)
+  /// assigns exactly the codes Build(prefix + suffix) would — existing
+  /// rows are never touched. `table` must have the same arity the table
+  /// was built with.
+  void AppendRows(const ProfileTable& table, const std::vector<UserId>& users);
+
   size_t num_rows() const { return users_.size(); }
   size_t num_attributes() const { return num_attributes_; }
 
@@ -126,6 +134,58 @@ class EncodedProfileTable {
   std::vector<UserId> users_;
   size_t num_attributes_;
   std::vector<uint32_t> codes_;  // row-major, num_rows x num_attributes
+};
+
+/// Resident encode stage of the serving flow (DESIGN.md §14): one codec +
+/// encoded table per owner, carried across crawler ticks. Each tick,
+/// Refresh() appends rows for newly discovered strangers only; a
+/// fingerprint over the source table (pointer + mutation epoch + arity)
+/// and the carried stranger prefix guards staleness — any mismatch falls
+/// back to a cold rebuild, never to silent reuse. GatherRows() then hands
+/// each pool its members' code rows; the codes come from one shared
+/// injective dictionary instead of a per-pool one, which preserves both
+/// code equality and per-value pool frequencies, so everything downstream
+/// (ValueFrequencyTable::BuildFromCodes + the PS kernels) is
+/// bitwise-identical to the per-pool encode it replaces.
+class StrangerEncodeCache {
+ public:
+  struct RefreshResult {
+    /// False when the cache was rebuilt from scratch (first use, source
+    /// table changed, or the stranger prefix no longer matches).
+    bool reused = false;
+    /// Rows encoded by this call (the suffix on reuse, everything on a
+    /// rebuild).
+    size_t rows_appended = 0;
+  };
+
+  StrangerEncodeCache() = default;
+
+  /// Brings the cache up to date with `strangers` (the owner's full
+  /// discovery-order list). Reuses carried rows when the fingerprint
+  /// holds and the carried users are a prefix of `strangers`.
+  RefreshResult Refresh(const ProfileTable& profiles,
+                        const std::vector<UserId>& strangers);
+
+  /// Copies the code rows of `users` (in order) into `out`, resized to
+  /// users.size() * num_attributes. False if any user has no cached row
+  /// (caller falls back to a direct encode).
+  [[nodiscard]] bool GatherRows(const std::vector<UserId>& users,
+                                std::vector<uint32_t>* out) const;
+
+  bool empty() const { return !encoded_.has_value(); }
+  size_t num_rows() const { return encoded_ ? encoded_->num_rows() : 0; }
+  size_t num_attributes() const {
+    return encoded_ ? encoded_->num_attributes() : 0;
+  }
+
+  /// Drops everything; the next Refresh is a cold rebuild.
+  void Clear();
+
+ private:
+  std::optional<EncodedProfileTable> encoded_;
+  std::unordered_map<UserId, size_t> row_of_;
+  const ProfileTable* source_ = nullptr;
+  uint64_t source_epoch_ = 0;
 };
 
 }  // namespace sight

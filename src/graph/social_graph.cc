@@ -32,12 +32,14 @@ bool SortedErase(std::vector<UserId>* v, UserId value) {
 
 UserId SocialGraph::AddUser() {
   adjacency_.emplace_back();
+  ++mutation_epoch_;
   return static_cast<UserId>(adjacency_.size() - 1);
 }
 
 UserId SocialGraph::AddUsers(size_t count) {
   UserId first = static_cast<UserId>(adjacency_.size());
   adjacency_.resize(adjacency_.size() + count);
+  if (count > 0) ++mutation_epoch_;
   return first;
 }
 
@@ -61,6 +63,7 @@ Result<bool> SocialGraph::AddEdgeIfAbsent(UserId a, UserId b) {
   if (!SortedInsert(&adjacency_[a], b)) return false;
   SIGHT_CHECK(SortedInsert(&adjacency_[b], a));
   ++num_edges_;
+  ++mutation_epoch_;
   return true;
 }
 
@@ -74,6 +77,7 @@ Status SocialGraph::RemoveEdge(UserId a, UserId b) {
   }
   SIGHT_CHECK(SortedErase(&adjacency_[b], a));
   --num_edges_;
+  ++mutation_epoch_;
   return Status::OK();
 }
 

@@ -60,9 +60,16 @@ class SocialGraph {
 
   void Reserve(size_t num_users) { adjacency_.reserve(num_users); }
 
+  /// Counter bumped by every successful structural mutation (user or edge
+  /// insertion/removal). Caches derived from the graph (carried pool
+  /// partitions) record the epoch they were built at and fall back to a
+  /// cold rebuild when it no longer matches.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   std::vector<std::vector<UserId>> adjacency_;
   size_t num_edges_ = 0;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace sight

@@ -43,6 +43,7 @@ void VisibilityTable::SetVisible(UserId user, ProfileItem item,
   } else {
     masks_[user] &= static_cast<uint8_t>(~bit);
   }
+  ++mutation_epoch_;
 }
 
 bool VisibilityTable::IsVisible(UserId user, ProfileItem item) const {
@@ -63,6 +64,7 @@ uint8_t VisibilityTable::Mask(UserId user) const {
 void VisibilityTable::SetMask(UserId user, uint8_t mask) {
   if (user >= masks_.size()) masks_.resize(user + 1, 0);
   masks_[user] = static_cast<uint8_t>(mask & 0x7f);
+  ++mutation_epoch_;
 }
 
 }  // namespace sight

@@ -65,8 +65,14 @@ class VisibilityTable {
 
   void SetMask(UserId user, uint8_t mask);
 
+  /// Counter bumped by every mutation (SetVisible / SetMask). Carried
+  /// learner state whose display benefits were derived from this table
+  /// records the epoch and is dropped when it no longer matches.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   std::vector<uint8_t> masks_;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace sight

@@ -282,8 +282,13 @@ Result<RiskReport> RiskService::AssessLocked(OwnerState* state,
   RecordingOracle recording(oracle, &state->known_labels);
   const PoolLearner::KnownLabels* prior =
       state->last_scores.empty() ? nullptr : &state->last_scores;
+  bool any_carry = config_.carry_learners || config_.carry_pool_partition ||
+                   config_.carry_encoded_tables;
+  state->carry.use_learners = config_.carry_learners;
+  state->carry.use_partition = config_.carry_pool_partition;
+  state->carry.use_encode = config_.carry_encoded_tables;
   Result<RiskReport> report =
-      config_.carry_learners
+      any_carry
           ? engine_.AssessIncremental(
                 *state->graph, *state->profiles, *state->visibility,
                 state->owner, state->strangers, &recording, rng,
@@ -303,6 +308,22 @@ Result<RiskReport> RiskService::AssessLocked(OwnerState* state,
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.assessments_run;
     stats_.pools_carried += report.value().assessment.pools_carried;
+    const CarryTelemetry& telemetry = report.value().carry;
+    if (config_.carry_pool_partition) {
+      if (telemetry.partition_reused) {
+        ++stats_.partition_hits;
+      } else {
+        ++stats_.partition_misses;
+      }
+    }
+    if (config_.carry_encoded_tables) {
+      if (telemetry.encode_reused) {
+        ++stats_.encode_hits;
+      } else {
+        ++stats_.encode_misses;
+      }
+      stats_.encode_rows_appended += telemetry.encode_rows_appended;
+    }
   }
   return report;
 }

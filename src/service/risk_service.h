@@ -96,6 +96,19 @@ struct RiskServiceConfig {
   /// checks, never silently reused. Applies to background drains and
   /// AssessSync; AssessNow is always cold.
   bool carry_learners = true;
+  /// Carry the NS/NSG/Squeezer pool partition across ticks: an
+  /// unchanged stranger set reuses it outright, a grown one routes only
+  /// the new suffix through the carried per-group squeezers
+  /// (DESIGN.md §14). Fingerprinted on the owner's tables and their
+  /// mutation epochs; any mismatch rebuilds cold. Bitwise-identical
+  /// either way.
+  bool carry_pool_partition = true;
+  /// Carry one owner-level ProfileCodec + EncodedProfileTable across
+  /// ticks: each tick encodes only newly discovered strangers and pools
+  /// gather their rows from the shared table instead of re-encoding
+  /// (DESIGN.md §14). Same fingerprint/fallback rules; bitwise-identical
+  /// either way.
+  bool carry_encoded_tables = true;
 
   [[nodiscard]] Status Validate() const;
 };
@@ -220,6 +233,16 @@ class RiskService {
     size_t assessments_run = 0;
     /// Sum of RiskReport.assessment.pools_carried across runs.
     size_t pools_carried = 0;
+    /// Warm assessments whose carried pool partition was reused /
+    /// rebuilt cold (only counted while carry_pool_partition is on).
+    size_t partition_hits = 0;
+    size_t partition_misses = 0;
+    /// Warm assessments whose carried encode was appended to / rebuilt
+    /// cold (only counted while carry_encoded_tables is on).
+    size_t encode_hits = 0;
+    size_t encode_misses = 0;
+    /// Stranger rows the encode stage actually encoded across runs.
+    size_t encode_rows_appended = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -240,8 +263,10 @@ class RiskService {
     PoolLearner::KnownLabels known_labels;
     /// Previous tick's predicted scores: the warm-start solve seed.
     PoolLearner::KnownLabels last_scores;
-    /// Finished learners retained for the next tick.
-    LearnerCarry carry;
+    /// Resident cross-tick caches: finished learners, the pool
+    /// partition, and the owner-level encoded stranger table
+    /// (DESIGN.md §14). The use_* flags mirror the service config.
+    AssessCarry carry;
     uint64_t next_version = 1;
     std::shared_ptr<const AssessmentSnapshot> snapshot;
   };

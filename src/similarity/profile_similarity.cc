@@ -67,6 +67,24 @@ ValueFrequencyTable ValueFrequencyTable::Build(
   return FromCounts(encoded.codec(), std::move(counts), std::move(totals));
 }
 
+ValueFrequencyTable ValueFrequencyTable::BuildFromCodes(
+    const uint32_t* rows, size_t num_rows, size_t num_attributes) {
+  std::vector<std::vector<size_t>> counts(num_attributes);
+  std::vector<size_t> totals(num_attributes, 0);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint32_t* row = rows + i * num_attributes;
+    for (AttributeId a = 0; a < num_attributes; ++a) {
+      uint32_t code = row[a];
+      if (code == ProfileCodec::kMissingCode) continue;
+      if (code >= counts[a].size()) counts[a].resize(code + 1, 0);
+      ++counts[a][code];
+      ++totals[a];
+    }
+  }
+  return FromCounts(ProfileCodec(num_attributes), std::move(counts),
+                    std::move(totals));
+}
+
 double ValueFrequencyTable::Frequency(AttributeId attr,
                                       const std::string& value) const {
   if (attr >= freq_.size() || totals_[attr] == 0) return 0.0;

@@ -50,6 +50,18 @@ class ValueFrequencyTable {
   /// codes in `encoded` (and in any table built on top of that codec).
   static ValueFrequencyTable Build(const EncodedProfileTable& encoded);
 
+  /// Builds frequencies straight from row-major code rows (`num_rows` x
+  /// `num_attributes`), without copying any codec — the serving flow's
+  /// per-pool path over rows gathered from a shared owner-level encode
+  /// (StrangerEncodeCache). FrequencyByCode agrees with the codes in
+  /// `rows`; the frequency of a value is its count over the non-missing
+  /// observations, identical to the codec-carrying builders. The
+  /// string-keyed Frequency() lookups on such a table answer 0 (there is
+  /// no dictionary to resolve them), which no hot path uses.
+  static ValueFrequencyTable BuildFromCodes(const uint32_t* rows,
+                                            size_t num_rows,
+                                            size_t num_attributes);
+
   /// Relative frequency of `value` for `attr` in [0, 1]; 0 for unseen
   /// values or empty populations.
   double Frequency(AttributeId attr, const std::string& value) const;

@@ -267,22 +267,29 @@ void ComputeBatch(const uint32_t* a, const uint32_t* b, size_t stride,
   ActiveBatchFn()(ctx, b, stride, count, out);
 }
 
-void FillTile(const EncodedProfileTable& enc, const ProfileSimilarity& ps,
-              const ValueFrequencyTable& freqs, const PairTile& tile,
-              SimilarityMatrix* out) {
-  SIGHT_CHECK(out != nullptr && tile.row_end <= enc.num_rows());
-  const size_t stride = enc.num_attributes();
+void FillTile(const uint32_t* rows, size_t num_rows, size_t num_attributes,
+              const ProfileSimilarity& ps, const ValueFrequencyTable& freqs,
+              const PairTile& tile, SimilarityMatrix* out) {
+  SIGHT_CHECK(out != nullptr && tile.row_end <= num_rows);
+  const size_t stride = num_attributes;
   const BatchFn batch = ActiveBatchFn();
   RowContext ctx;
   std::vector<double> buf(tile.col_end - tile.col_begin);
-  const uint32_t* b = enc.row(tile.col_begin);
+  const uint32_t* b = rows + tile.col_begin * stride;
   for (size_t i = std::max(tile.row_begin, tile.col_begin + 1);
        i < tile.row_end; ++i) {
     const size_t count = std::min(tile.col_end, i) - tile.col_begin;
-    ctx.Pack(enc.row(i), ps.normalized_weights(), freqs);
+    ctx.Pack(rows + i * stride, ps.normalized_weights(), freqs);
     batch(ctx, b, stride, count, buf.data());
     out->SetRowSpan(i, tile.col_begin, buf.data(), count);
   }
+}
+
+void FillTile(const EncodedProfileTable& enc, const ProfileSimilarity& ps,
+              const ValueFrequencyTable& freqs, const PairTile& tile,
+              SimilarityMatrix* out) {
+  FillTile(enc.row(0), enc.num_rows(), enc.num_attributes(), ps, freqs, tile,
+           out);
 }
 
 FillStats FillPairwise(const EncodedProfileTable& enc,

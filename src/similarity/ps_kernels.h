@@ -106,6 +106,15 @@ void FillTile(const EncodedProfileTable& enc, const ProfileSimilarity& ps,
               const ValueFrequencyTable& freqs, const PairTile& tile,
               SimilarityMatrix* out);
 
+/// Same over raw row-major code rows (`num_rows` x `num_attributes`) —
+/// the serving flow's gathered-row path, where a pool's rows come from a
+/// shared owner-level encode instead of an EncodedProfileTable of its
+/// own. The EncodedProfileTable overload delegates here; results are
+/// bitwise-identical for identical rows and frequencies.
+void FillTile(const uint32_t* rows, size_t num_rows, size_t num_attributes,
+              const ProfileSimilarity& ps, const ValueFrequencyTable& freqs,
+              const PairTile& tile, SimilarityMatrix* out);
+
 /// What FillPairwise actually ran with, for bench reporting.
 struct FillStats {
   TileShape tile;

@@ -84,6 +84,52 @@ TEST(IncrementalSqueezerTest, AddReturnsClusterIndex) {
   EXPECT_EQ(inc.num_points(), 3u);
 }
 
+TEST(IncrementalSqueezerTest, GrownSetAssignMatchesFullRecluster) {
+  // The grown-stranger-set carry case (DESIGN.md §14): cluster a prefix,
+  // then assign the newly discovered suffix against the carried
+  // clusters — the result must be bitwise-identical to re-clustering the
+  // whole sequence from scratch, for every split point.
+  ProfileTable table = TwoGroupPopulation();
+  std::vector<UserId> users = {0, 4, 1, 5, 2, 6, 3, 7};
+  SqueezerConfig config;
+  config.threshold = 0.4;
+  auto full = Squeezer::Create(TestSchema(), config)
+                  .value()
+                  .Cluster(table, users)
+                  .value();
+  for (size_t split = 0; split <= users.size(); ++split) {
+    IncrementalSqueezer inc = MakeIncremental();
+    std::vector<UserId> prefix(users.begin(),
+                               users.begin() + static_cast<ptrdiff_t>(split));
+    std::vector<UserId> suffix(users.begin() + static_cast<ptrdiff_t>(split),
+                               users.end());
+    ASSERT_TRUE(inc.AddBatch(table, prefix).ok());
+    ASSERT_TRUE(inc.AddBatch(table, suffix).ok());
+    EXPECT_EQ(inc.clustering().assignments, full.assignments)
+        << "split " << split;
+    EXPECT_EQ(inc.clustering().clusters, full.clusters) << "split " << split;
+  }
+}
+
+TEST(SqueezerTest, MakeIncrementalMatchesClusterWeights) {
+  // Squeezer::MakeIncremental must replicate Cluster()'s exact weight
+  // chain (already-normalized weights pass through Create again), so a
+  // cached incremental squeezer scores identically to the batch path
+  // even under non-uniform weights.
+  ProfileTable table = TwoGroupPopulation();
+  std::vector<UserId> users = {0, 4, 1, 5, 2, 6, 3, 7};
+  SqueezerConfig config;
+  config.threshold = 0.4;
+  config.weights = {3.0, 1.0};  // re-normalized inside Create
+  Squeezer squeezer = Squeezer::Create(TestSchema(), config).value();
+  auto batch = squeezer.Cluster(table, users).value();
+
+  IncrementalSqueezer inc = squeezer.MakeIncremental(TestSchema()).value();
+  ASSERT_TRUE(inc.AddBatch(table, users).ok());
+  EXPECT_EQ(inc.clustering().assignments, batch.assignments);
+  EXPECT_EQ(inc.clustering().clusters, batch.clusters);
+}
+
 TEST(IncrementalSqueezerTest, SchemaMismatchRejected) {
   ProfileTable other(ProfileSchema::Create({"a", "b", "c"}).value());
   IncrementalSqueezer inc = MakeIncremental();

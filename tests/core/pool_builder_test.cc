@@ -189,6 +189,131 @@ TEST(PoolBuilderTest, OwnerWithoutStrangersYieldsEmptyPoolSet) {
   EXPECT_EQ(pools.TotalStrangers(), 0u);
 }
 
+// Bitwise equality of two pool sets: same stranger order, exact-equal NS
+// doubles, identical pools in identical order.
+void ExpectSamePoolSet(const PoolSet& got, const PoolSet& want) {
+  EXPECT_EQ(got.strangers, want.strangers);
+  ASSERT_EQ(got.network_similarities.size(),
+            want.network_similarities.size());
+  for (size_t i = 0; i < got.network_similarities.size(); ++i) {
+    EXPECT_EQ(got.network_similarities[i], want.network_similarities[i]);
+  }
+  ASSERT_EQ(got.pools.size(), want.pools.size());
+  for (size_t p = 0; p < got.pools.size(); ++p) {
+    EXPECT_EQ(got.pools[p].members, want.pools[p].members) << "pool " << p;
+    EXPECT_EQ(got.pools[p].nsg_index, want.pools[p].nsg_index);
+    EXPECT_EQ(got.pools[p].cluster_index, want.pools[p].cluster_index);
+  }
+}
+
+TEST(PoolBuilderTest, CachedBuildMatchesColdOnEveryPath) {
+  // Identical set, grown set, and cold rebuild must all be bitwise-equal
+  // to BuildForStrangers over the same list, for both strategies.
+  for (PoolStrategy strategy :
+       {PoolStrategy::kNetworkAndProfile, PoolStrategy::kNetworkOnly}) {
+    Fixture fx;
+    auto builder = PoolBuilder::Create(DefaultConfig(strategy)).value();
+    PoolPartitionCache cache;
+
+    std::vector<UserId> first = {5, 6, 7};
+    auto cold1 =
+        builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, first)
+            .value();
+    auto warm1 = builder
+                     .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                              first, &cache)
+                     .value();
+    ExpectSamePoolSet(warm1, cold1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // Identical set: reused outright.
+    auto warm2 = builder
+                     .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                              first, &cache)
+                     .value();
+    ExpectSamePoolSet(warm2, cold1);
+    EXPECT_EQ(cache.stats().hits_identical, 1u);
+
+    // Grown set: only the suffix routes through the carried squeezers.
+    std::vector<UserId> grown = {5, 6, 7, 8, 9, 10};
+    auto cold2 =
+        builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, grown)
+            .value();
+    auto warm3 = builder
+                     .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                              grown, &cache)
+                     .value();
+    ExpectSamePoolSet(warm3, cold2);
+    EXPECT_EQ(cache.stats().hits_grown, 1u);
+    EXPECT_EQ(cache.num_strangers(), 6u);
+  }
+}
+
+TEST(PoolBuilderTest, CachedBuildRebuildsOnInvalidation) {
+  Fixture fx;
+  auto builder =
+      PoolBuilder::Create(DefaultConfig(PoolStrategy::kNetworkAndProfile))
+          .value();
+  PoolPartitionCache cache;
+  std::vector<UserId> strangers = {5, 6, 7, 8};
+  (void)builder
+      .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner, strangers,
+                               &cache)
+      .value();
+
+  // A graph edit bumps the epoch: next build is a cold rebuild that sees
+  // the new edge (stranger 7 gains a second mutual friend).
+  ASSERT_TRUE(fx.graph.AddEdge(7, 2).ok());
+  auto cold =
+      builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, strangers)
+          .value();
+  auto warm = builder
+                  .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                           strangers, &cache)
+                  .value();
+  ExpectSamePoolSet(warm, cold);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // A profile edit invalidates too.
+  ASSERT_TRUE(fx.profiles.SetValue(5, 0, "female").ok());
+  auto cold2 =
+      builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, strangers)
+          .value();
+  auto warm2 = builder
+                   .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                            strangers, &cache)
+                   .value();
+  ExpectSamePoolSet(warm2, cold2);
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  // A reordered (non-prefix) list breaks the prefix and rebuilds.
+  std::vector<UserId> reordered = {6, 5, 7, 8};
+  auto cold3 =
+      builder.BuildForStrangers(fx.graph, fx.profiles, fx.owner, reordered)
+          .value();
+  auto warm3 = builder
+                   .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                            reordered, &cache)
+                   .value();
+  ExpectSamePoolSet(warm3, cold3);
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // A different builder configuration never reuses another's partition.
+  PoolBuilderConfig other = DefaultConfig(PoolStrategy::kNetworkAndProfile);
+  other.alpha = 5;
+  auto other_builder = PoolBuilder::Create(other).value();
+  auto cold4 = other_builder
+                   .BuildForStrangers(fx.graph, fx.profiles, fx.owner,
+                                      reordered)
+                   .value();
+  auto warm4 = other_builder
+                   .BuildForStrangersCached(fx.graph, fx.profiles, fx.owner,
+                                            reordered, &cache)
+                   .value();
+  ExpectSamePoolSet(warm4, cold4);
+  EXPECT_EQ(cache.stats().misses, 5u);
+}
+
 TEST(PoolBuilderTest, BuildForStrangersHonorsSubset) {
   Fixture fx;
   auto builder =

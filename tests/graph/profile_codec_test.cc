@@ -126,6 +126,121 @@ TEST(EncodedProfileTableTest, BaseCodecKeepsSharedCodesAndExtends) {
   EXPECT_EQ(base.Code(1, "de"), ProfileCodec::kUnknownValue);
 }
 
+TEST(ProfileCodecTest, InterningIsAppendOnlyAcrossGrowth) {
+  // The invariance the whole carry design rests on: a code, once
+  // assigned, never changes — no matter how much the dictionary grows
+  // afterwards — and never-interned values keep reading kUnknownValue.
+  ProfileCodec codec(2);
+  uint32_t male = codec.Intern(0, "male");
+  uint32_t tr = codec.Intern(1, "tr");
+  std::vector<std::string> extra = {"female", "x", "de", "ankara", "izmir"};
+  for (const std::string& value : extra) {
+    codec.Intern(0, value);
+    codec.Intern(1, value);
+  }
+  EXPECT_EQ(codec.Code(0, "male"), male);
+  EXPECT_EQ(codec.Code(1, "tr"), tr);
+  EXPECT_EQ(codec.Intern(0, "male"), male);
+  EXPECT_EQ(codec.Code(0, "never-seen"), ProfileCodec::kUnknownValue);
+  EXPECT_EQ(codec.Code(0, ""), ProfileCodec::kMissingCode);
+}
+
+TEST(EncodedProfileTableTest, AppendRowsMatchesOneShotBuild) {
+  ProfileTable table = ThreeAttributeTable();
+  ASSERT_TRUE(table.Set(1, Profile{{"male", "tr", "ankara"}}).ok());
+  ASSERT_TRUE(table.Set(2, Profile{{"female", "tr", "izmir"}}).ok());
+  ASSERT_TRUE(table.Set(3, Profile{{"male", "de", "berlin"}}).ok());
+  ASSERT_TRUE(table.Set(4, Profile{{"", "de", "ankara"}}).ok());
+  std::vector<UserId> all = {1, 2, 3, 4};
+
+  // Build over a prefix, then append the rest one batch at a time: every
+  // row and every dictionary code must equal the one-shot build's.
+  EncodedProfileTable grown = EncodedProfileTable::Build(table, {1, 2});
+  grown.AppendRows(table, {3});
+  grown.AppendRows(table, {4});
+  EncodedProfileTable oneshot = EncodedProfileTable::Build(table, all);
+
+  ASSERT_EQ(grown.num_rows(), oneshot.num_rows());
+  EXPECT_EQ(grown.users(), oneshot.users());
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (AttributeId a = 0; a < grown.num_attributes(); ++a) {
+      EXPECT_EQ(grown.code(i, a), oneshot.code(i, a))
+          << "row " << i << " attr " << a;
+    }
+  }
+  for (AttributeId a = 0; a < grown.num_attributes(); ++a) {
+    EXPECT_EQ(grown.codec().NumCodes(a), oneshot.codec().NumCodes(a));
+  }
+}
+
+TEST(StrangerEncodeCacheTest, RefreshAppendsOnlyTheSuffix) {
+  ProfileTable table = ThreeAttributeTable();
+  ASSERT_TRUE(table.Set(1, Profile{{"male", "tr", "ankara"}}).ok());
+  ASSERT_TRUE(table.Set(2, Profile{{"female", "tr", "izmir"}}).ok());
+  ASSERT_TRUE(table.Set(3, Profile{{"male", "de", "berlin"}}).ok());
+
+  StrangerEncodeCache cache;
+  auto first = cache.Refresh(table, {1, 2});
+  EXPECT_FALSE(first.reused);
+  EXPECT_EQ(first.rows_appended, 2u);
+  ASSERT_EQ(cache.num_rows(), 2u);
+
+  // Identical list: nothing to encode.
+  auto same = cache.Refresh(table, {1, 2});
+  EXPECT_TRUE(same.reused);
+  EXPECT_EQ(same.rows_appended, 0u);
+
+  // Grown list: only the new stranger is encoded.
+  auto grown = cache.Refresh(table, {1, 2, 3});
+  EXPECT_TRUE(grown.reused);
+  EXPECT_EQ(grown.rows_appended, 1u);
+  EXPECT_EQ(cache.num_rows(), 3u);
+
+  // Gathered rows match a direct encode of the same users (any order).
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE(cache.GatherRows({3, 1}, &rows));
+  ASSERT_EQ(rows.size(), 2u * cache.num_attributes());
+  EncodedProfileTable direct = EncodedProfileTable::Build(table, {1, 2, 3});
+  for (AttributeId a = 0; a < cache.num_attributes(); ++a) {
+    EXPECT_EQ(rows[a], direct.code(2, a));
+    EXPECT_EQ(rows[cache.num_attributes() + a], direct.code(0, a));
+  }
+  // An uncached user fails the gather (caller re-encodes directly).
+  EXPECT_FALSE(cache.GatherRows({1, 99}, &rows));
+}
+
+TEST(StrangerEncodeCacheTest, RefreshRebuildsOnMutationOrBrokenPrefix) {
+  ProfileTable table = ThreeAttributeTable();
+  ASSERT_TRUE(table.Set(1, Profile{{"male", "tr", "ankara"}}).ok());
+  ASSERT_TRUE(table.Set(2, Profile{{"female", "tr", "izmir"}}).ok());
+
+  StrangerEncodeCache cache;
+  (void)cache.Refresh(table, {1, 2});
+
+  // A profile edit bumps the table's mutation epoch: the fingerprint
+  // breaks and the next refresh is a cold rebuild that sees the edit.
+  ASSERT_TRUE(table.SetValue(1, 2, "istanbul").ok());
+  auto after_edit = cache.Refresh(table, {1, 2});
+  EXPECT_FALSE(after_edit.reused);
+  EXPECT_EQ(after_edit.rows_appended, 2u);
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE(cache.GatherRows({1}, &rows));
+  EncodedProfileTable direct = EncodedProfileTable::Build(table, {1, 2});
+  for (AttributeId a = 0; a < cache.num_attributes(); ++a) {
+    EXPECT_EQ(rows[a], direct.code(0, a));
+  }
+
+  // A reordered (non-prefix) list also rebuilds.
+  auto reordered = cache.Refresh(table, {2, 1});
+  EXPECT_FALSE(reordered.reused);
+  EXPECT_EQ(reordered.rows_appended, 2u);
+
+  // Clear drops everything.
+  cache.Clear();
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.num_rows(), 0u);
+}
+
 TEST(ProfileCodecTest, DecodeRoundTripsInternedValues) {
   ProfileCodec codec(2);
   uint32_t code = codec.Intern(0, "istanbul");

@@ -428,6 +428,71 @@ TEST(RiskServiceTest, CarriedLearnersSkipStablePools) {
             ds.strangers.size());
 }
 
+TEST(RiskServiceTest, ResidentCachesAreBitwiseNeutral) {
+  // The partition and encode carries are pure cost knobs: a trace of warm
+  // ticks (learner carry ON in both arms — carried learners are part of
+  // the warm semantics, not under test here) must produce bitwise the
+  // same report every tick with the caches on and off, including across
+  // an upstream profile edit that invalidates every fingerprint. The two
+  // services run interleaved so each tick sees identical table state.
+  sim::OwnerDataset ds = MakeDataset(18);
+
+  RiskServiceConfig cached_config = ServiceConfig();
+  cached_config.carry_pool_partition = true;
+  cached_config.carry_encoded_tables = true;
+  auto cached = RiskService::Create(std::move(cached_config)).value();
+  RiskServiceConfig cold_config = ServiceConfig();
+  cold_config.carry_pool_partition = false;
+  cold_config.carry_encoded_tables = false;
+  auto cold = RiskService::Create(std::move(cold_config)).value();
+  ASSERT_TRUE(cached->RegisterOwner(Registration(ds)).ok());
+  ASSERT_TRUE(cold->RegisterOwner(Registration(ds)).ok());
+
+  sim::OwnerModel cached_oracle = MakeOracle(ds, 71);
+  sim::OwnerModel cold_oracle = MakeOracle(ds, 71);
+  Rng cached_rng(73);
+  Rng cold_rng(73);
+  size_t half = ds.strangers.size() / 2;
+  size_t n = ds.strangers.size();
+
+  auto tick = [&](const std::vector<UserId>& discovered) {
+    if (!discovered.empty()) {
+      ASSERT_TRUE(cached->AddStrangers(ds.owner, discovered).ok());
+      ASSERT_TRUE(cold->AddStrangers(ds.owner, discovered).ok());
+    }
+    RiskReport a =
+        cached->AssessSync(ds.owner, &cached_oracle, &cached_rng).value();
+    RiskReport b = cold->AssessSync(ds.owner, &cold_oracle, &cold_rng).value();
+    ExpectReportsIdentical(a, b);
+    EXPECT_EQ(a.assessment.pools_carried, b.assessment.pools_carried);
+  };
+
+  std::vector<UserId> first_wave(ds.strangers.begin(),
+                                 ds.strangers.begin() + half);
+  std::vector<UserId> second_wave(ds.strangers.begin() + half,
+                                  ds.strangers.end());
+  tick(first_wave);   // cold start: both caches miss
+  tick(second_wave);  // grown set: suffix-only reuse
+  tick({});           // unchanged set: full reuse
+  // Upstream edit: every fingerprint breaks; the next tick rebuilds cold
+  // and both arms still agree.
+  ASSERT_TRUE(ds.profiles.SetValue(ds.strangers[0], 0, "female").ok());
+  tick({});
+
+  RiskService::Stats cached_stats = cached->stats();
+  EXPECT_EQ(cached_stats.partition_misses, 2u);  // first tick + post-edit
+  EXPECT_EQ(cached_stats.partition_hits, 2u);    // grown + unchanged
+  EXPECT_EQ(cached_stats.encode_misses, 2u);
+  EXPECT_EQ(cached_stats.encode_hits, 2u);
+  // half (cold) + (n - half) (suffix) + 0 (unchanged) + n (rebuild).
+  EXPECT_EQ(cached_stats.encode_rows_appended, 2 * n);
+
+  // The cold arm never exercises (or counts) the caches.
+  RiskService::Stats cold_stats = cold->stats();
+  EXPECT_EQ(cold_stats.partition_hits + cold_stats.partition_misses, 0u);
+  EXPECT_EQ(cold_stats.encode_hits + cold_stats.encode_misses, 0u);
+}
+
 TEST(RiskServiceTest, AssessSyncRecordsLabelsAndNeverReasks) {
   sim::OwnerDataset ds = MakeDataset(17, 120);
   auto service = RiskService::Create(ServiceConfig()).value();

@@ -98,6 +98,12 @@ def main():
               "  auto engine = RiskEngine::Create(RiskEngineConfig{});\n"
               "  SIGHT_CHECK(engine.ok());\n"
               "}\n", "no-direct-engine")
+    lint_case("EncodedProfileTable::Build inside src/service",
+              "service/foo.cc",
+              "void F(const ProfileTable& profiles,\n"
+              "       const std::vector<UserId>& members) {\n"
+              "  auto enc = EncodedProfileTable::Build(profiles, members);\n"
+              "}\n", "no-hot-rebuild")
 
     # --- clean idioms must NOT be flagged --------------------------------
     lint_case("[[nodiscard]] declaration is clean", "core/foo.h",
@@ -136,6 +142,12 @@ def main():
               "  SIGHT_ASSIGN_OR_RETURN(RiskEngine engine,\n"
               "                         RiskEngine::Create(config.engine));\n"
               "  return Status::OK();\n"
+              "}\n", None)
+    lint_case("EncodedProfileTable::Build outside src/service is allowed",
+              "graph/profile_codec.cc",
+              "void F(const ProfileTable& profiles,\n"
+              "       const std::vector<UserId>& members) {\n"
+              "  auto enc = EncodedProfileTable::Build(profiles, members);\n"
               "}\n", None)
     lint_case("comments and strings are ignored", "core/foo.cc",
               "// try to throw std::cout at a std::thread\n"

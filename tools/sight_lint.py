@@ -21,6 +21,11 @@ Enforces the Sight library conventions documented in DESIGN.md §10:
                      code goes through the resident RiskService (or the
                      RiskSession adapter) so per-owner state, carry, and
                      deprecation stay behind one front door (DESIGN.md §13).
+  no-hot-rebuild     No `EncodedProfileTable::Build` inside src/service/ —
+                     the serving hot path carries one encoded table per
+                     owner (StrangerEncodeCache, DESIGN.md §14); per-tick
+                     rebuilds belong to the cache's own cold-fallback
+                     helper, never to service code.
 
 Usage:
   tools/sight_lint.py                 # lint src/ under the repo root
@@ -45,6 +50,10 @@ ALLOWLIST = {
     # name the symbol in declarations/definitions.
     "no-direct-engine": {"service/risk_service.cc", "core/risk_engine.h",
                          "core/risk_engine.cc"},
+    # Currently empty: the cold-rebuild fallback lives inside
+    # StrangerEncodeCache::Refresh (graph/profile_codec.cc), not in the
+    # service. A future service-side helper would be exempted here.
+    "no-hot-rebuild": set(),
 }
 
 # Function declarations returning Status or Result<T>. Mirrors the shape of
@@ -261,6 +270,24 @@ def check_direct_engine(rel, lines, violations):
                 " see DESIGN.md §13"))
 
 
+def check_hot_rebuild(rel, lines, violations):
+    """Rule no-hot-rebuild: only service/ files are in scope — the carried
+    StrangerEncodeCache (and its cold-rebuild fallback) lives below the
+    service, so any Build here is a per-tick rebuild on the hot path."""
+    if not rel.startswith("service/"):
+        return
+    if rel in ALLOWLIST["no-hot-rebuild"]:
+        return
+    pat = re.compile(r"\bEncodedProfileTable\s*::\s*Build\b")
+    for idx, line in enumerate(lines):
+        if pat.search(line):
+            violations.append(Violation(
+                rel, idx + 1, "no-hot-rebuild",
+                "EncodedProfileTable::Build in service code rebuilds the"
+                " encode every tick — go through the owner's carried"
+                " StrangerEncodeCache (DESIGN.md §14)"))
+
+
 RULES = {
     "nodiscard-status": check_nodiscard,
     "no-exceptions": check_exceptions,
@@ -268,6 +295,7 @@ RULES = {
     "checked-value": check_value,
     "no-raw-thread": check_thread,
     "no-direct-engine": check_direct_engine,
+    "no-hot-rebuild": check_hot_rebuild,
 }
 
 
