@@ -58,6 +58,8 @@ class SocialGraph {
   size_t NumUsers() const { return adjacency_.size(); }
   size_t NumEdges() const { return num_edges_; }
 
+  // SIGHT_ANALYZER_OK(epoch-discipline): reserve only grows capacity;
+  // no observable state changes, so carried caches stay valid.
   void Reserve(size_t num_users) { adjacency_.reserve(num_users); }
 
   /// Counter bumped by every successful structural mutation (user or edge

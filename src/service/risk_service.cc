@@ -151,6 +151,10 @@ Status RiskService::Submit(OwnerEvent event) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.events_submitted;
   }
+  // ThreadPool::Submit only enqueues the drain task — it pushes onto the
+  // pool's queue and returns, never waiting for completion — so holding
+  // shard.mutex across the schedule cannot deadlock.
+  // SIGHT_ANALYZER_OK(lock-discipline): Submit enqueues without blocking.
   ScheduleDrainLocked(shard_index);
   return Status::OK();
 }
@@ -220,6 +224,11 @@ void RiskService::ApplyOwnerBatch(OwnerState* state,
   AssessmentSnapshot snapshot;
   snapshot.events_coalesced = assess_requests - 1;
   if (mutation_status.ok()) {
+    // The assessment fans out on the engine's pool, which
+    // RiskServiceConfig::Validate guarantees is distinct from the
+    // service's drain pool, so the drain task holding state->mutex never
+    // waits on the pool it runs inside.
+    // SIGHT_ANALYZER_OK(lock-discipline): engine pool is distinct by
     Result<RiskReport> report =
         AssessLocked(state, state->oracle, &state->rng);
     if (report.ok()) {
@@ -381,10 +390,16 @@ void RiskService::Shutdown() {
     shard->space_available.notify_all();
   }
   Flush().IgnoreError();
+  // Snapshot the pool pointer under the lock but Wait() outside it: a
+  // drain task that finishes while we block must not find pool_mutex_
+  // held (worker_pool() takes it), and owned_pool_ is never reset after
+  // creation so the raw pointer stays valid.
+  ThreadPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
-    if (owned_pool_ != nullptr) owned_pool_->Wait();
+    pool = owned_pool_.get();
   }
+  if (pool != nullptr) pool->Wait();
   // Wake WaitFor callers that will never see their version now.
   std::lock_guard<std::mutex> lock(owners_mutex_);
   for (auto& [owner, state] : owners_) {
@@ -406,7 +421,10 @@ Result<RiskReport> RiskService::AssessNow(UserId owner, LabelOracle* oracle,
   std::lock_guard<std::mutex> lock(state->mutex);
   // Cold read-through: identical inputs to a batch
   // RiskEngine::AssessStrangers call, no carry, no warm seed, and no
-  // recording — the owner's state is untouched.
+  // recording — the owner's state is untouched. The engine fans out on
+  // its own pool, which RiskServiceConfig::Validate guarantees is
+  // distinct from the service's drain pool.
+  // SIGHT_ANALYZER_OK(lock-discipline): engine pool distinct by Validate.
   return engine_.AssessStrangers(
       *state->graph, *state->profiles, *state->visibility, owner,
       state->strangers, oracle, rng,
@@ -424,6 +442,7 @@ Result<RiskReport> RiskService::AssessSync(UserId owner, LabelOracle* oracle,
     return Status::NotFound(StrFormat("owner %u is not registered", owner));
   }
   std::lock_guard<std::mutex> lock(state->mutex);
+  // SIGHT_ANALYZER_OK(lock-discipline): engine pool distinct by Validate.
   SIGHT_ASSIGN_OR_RETURN(RiskReport report, AssessLocked(state, oracle, rng));
   AssessmentSnapshot snapshot;
   snapshot.report = report;

@@ -1,0 +1,9 @@
+// Deliberately unparseable translation unit (unterminated block comment)
+// used by tests/tools/sight_analyzer_test.py to assert the analyzer
+// reports an actionable tool error (exit 2) instead of crashing.
+
+namespace sight {
+
+void Fine() {}
+
+/* this comment never ends

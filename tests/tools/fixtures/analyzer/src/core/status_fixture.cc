@@ -1,0 +1,64 @@
+// Seeded violations for the status-discipline rule: discarded
+// Status/Result returns that [[nodiscard]] alone can miss. Never
+// compiled; driven by tests/tools/sight_analyzer_test.py.
+
+namespace sight {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+  static Status OK();
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  Status status() const;
+};
+
+Status Flush();
+Status Shutdown();
+Result<int> Parse();
+int Count();  // not status-returning: free to discard
+
+class Store {
+ public:
+  Status Persist();
+
+  // BAD: discards the Status returned by a sibling method.
+  void CloseBad() { Persist(); }
+
+  // GOOD: explicit discard via IgnoreError().
+  void CloseOk() { Persist().IgnoreError(); }
+};
+
+// BAD: free-function Status discarded.
+void TickBad() { Flush(); }
+
+// BAD: discarded inside an if body (no compiler diagnostic for
+// expression statements behind macros).
+void MaybeBad(bool cond) {
+  if (cond) Shutdown();
+}
+
+// BAD: Result<T> discarded.
+void ParseBad() { Parse(); }
+
+// GOOD: the value is consumed by the check.
+bool TickOk() { return Flush().ok(); }
+
+// GOOD: propagated to the caller.
+Status ForwardOk() { return Flush(); }
+
+// GOOD: non-status returns may be discarded.
+void CountOk() { Count(); }
+
+// GOOD: suppressed discard.
+void SuppressedOk() {
+  // SIGHT_ANALYZER_OK(status-discipline): fixture for suppression flow.
+  Flush();
+}
+
+}  // namespace sight

@@ -1,0 +1,76 @@
+// Seeded violations for the epoch-discipline rule. This file is never
+// compiled into the library; tests/tools/sight_analyzer_test.py points a
+// synthetic compile_commands.json at it and asserts the analyzer flags
+// exactly the BAD cases below.
+
+#include <cstdint>
+#include <vector>
+
+namespace sight {
+
+using UserId = uint32_t;
+
+class SocialGraph {
+ public:
+  // BAD: mutates adjacency_ but never bumps mutation_epoch_.
+  void AddUserBad(UserId u) {
+    adjacency_.emplace_back();
+    ids_.push_back(u);
+  }
+
+  // BAD: the early-return path mutates num_edges_ without a bump.
+  bool AddEdgeBad(UserId a, UserId b) {
+    ++num_edges_;
+    if (a == b) return false;  // mutated, not bumped: stale carry
+    ++mutation_epoch_;
+    return true;
+  }
+
+  // GOOD: every mutating path bumps before returning.
+  void AddGood(UserId u) {
+    adjacency_.emplace_back();
+    ids_.push_back(u);
+    ++mutation_epoch_;
+  }
+
+  // GOOD: conditional mutation with a matching conditional bump.
+  void AddManyGood(size_t count) {
+    if (count > 0) {
+      adjacency_.resize(adjacency_.size() + count);
+      ++mutation_epoch_;
+    }
+  }
+
+  // GOOD: const methods are out of scope for the rule.
+  size_t NumUsersGood() const { return adjacency_.size(); }
+
+  // SIGHT_ANALYZER_OK(epoch-discipline): fixture for suppression flow.
+  void ReserveSuppressed(size_t n) { adjacency_.reserve(n); }
+
+ private:
+  std::vector<std::vector<UserId>> adjacency_;
+  std::vector<UserId> ids_;
+  size_t num_edges_ = 0;
+  uint64_t mutation_epoch_ = 0;
+};
+
+class ProfileTable {
+ public:
+  // BAD: mutation via a member method call, no bump anywhere.
+  void SetBad(UserId u, int value) { values_.push_back(value + int(u)); }
+
+ private:
+  std::vector<int> values_;
+  uint64_t mutation_epoch_ = 0;
+};
+
+// Not an epoch-tracked class: mutations here are not the rule's business.
+class ScratchBuffer {
+ public:
+  void Push(int v) { data_.push_back(v); }
+
+ private:
+  std::vector<int> data_;
+};
+
+}  // namespace sight

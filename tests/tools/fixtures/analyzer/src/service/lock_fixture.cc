@@ -1,0 +1,96 @@
+// Seeded violations for the lock-discipline rule: blocking pool
+// operations and condition-variable waits reached while service mutex
+// scopes are held, plus an ABBA lock-order inversion. Never compiled;
+// driven by tests/tools/sight_analyzer_test.py.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace sight {
+
+class ThreadPool;
+void ParallelFor(ThreadPool* pool, size_t n);
+
+class FixtureService {
+ public:
+  // BAD: ParallelFor directly under the shard lock.
+  void DirectBad() {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    ParallelFor(pool_, 64);
+  }
+
+  // BAD: blocking pool call under the lock via the receiver heuristic.
+  void SubmitBad() {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    pool_->Submit();
+  }
+
+  // BAD: the blocking call is two hops down the call graph.
+  void TransitiveBad() {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    Helper();
+  }
+
+  // BAD: cv wait with two locks held — the wait only releases its own.
+  void CvTwoLocksBad() {
+    std::unique_lock<std::mutex> outer(stats_mutex_);
+    std::unique_lock<std::mutex> lock(shard_mutex_);
+    ready_.wait(lock);
+  }
+
+  // BAD pair: OrderAB and OrderBA acquire the same mutexes in opposite
+  // orders.
+  void OrderAB() {
+    std::lock_guard<std::mutex> a(shard_mutex_);
+    std::lock_guard<std::mutex> b(stats_mutex_);
+    ++counter_;
+  }
+  void OrderBA() {
+    std::lock_guard<std::mutex> b(stats_mutex_);
+    std::lock_guard<std::mutex> a(shard_mutex_);
+    --counter_;
+  }
+
+  // GOOD: the lock is released before the blocking call.
+  void ScopedOk() {
+    {
+      std::lock_guard<std::mutex> lock(shard_mutex_);
+      ++counter_;
+    }
+    ParallelFor(pool_, 64);
+  }
+
+  // GOOD: a cv wait holding only its own lock is the intended pattern.
+  void CvOk() {
+    std::unique_lock<std::mutex> lock(shard_mutex_);
+    ready_.wait(lock);
+  }
+
+  // GOOD: unlock() deactivates the scope before the blocking call.
+  void UnlockOk() {
+    std::unique_lock<std::mutex> lock(shard_mutex_);
+    ++counter_;
+    lock.unlock();
+    ParallelFor(pool_, 64);
+  }
+
+  // GOOD: suppressed violation for the suppression-flow test.
+  void SuppressedBad() {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    // SIGHT_ANALYZER_OK(lock-discipline): fixture for suppression flow.
+    ParallelFor(pool_, 64);
+  }
+
+ private:
+  void Helper() { Deeper(); }
+  void Deeper() { ParallelFor(pool_, 8); }
+
+  std::mutex shard_mutex_;
+  std::mutex stats_mutex_;
+  std::condition_variable ready_;
+  ThreadPool* pool_ = nullptr;
+  int counter_ = 0;
+};
+
+}  // namespace sight

@@ -40,11 +40,14 @@ def expect(name, cond, detail=""):
         print(f"FAIL  {name}  {detail}")
 
 
-def lint_case(name, rel_path, content, want_rule):
-    """Lints a one-file src/ tree; asserts `want_rule` fires (or, when
-    want_rule is None, that the tree is clean)."""
+def lint_case(name, rel_path, content, want_rule, tree="src"):
+    """Lints a one-file src/ (or tests/) tree; asserts `want_rule` fires
+    (or, when want_rule is None, that the tree is clean)."""
     with tempfile.TemporaryDirectory() as tmp:
-        f = pathlib.Path(tmp) / "src" / rel_path
+        if tree != "src":
+            # The linter requires src/ to exist even for tests/-only runs.
+            (pathlib.Path(tmp) / "src").mkdir()
+        f = pathlib.Path(tmp) / tree / rel_path
         f.parent.mkdir(parents=True)
         f.write_text(content)
         proc = run_lint(tmp)
@@ -104,6 +107,67 @@ def main():
               "       const std::vector<UserId>& members) {\n"
               "  auto enc = EncodedProfileTable::Build(profiles, members);\n"
               "}\n", "no-hot-rebuild")
+
+    # --- multiline + commented-out hardening -----------------------------
+    lint_case("multiline RiskEngine::Create is caught", "core/foo.cc",
+              "void F() {\n"
+              "  auto engine = RiskEngine::\n"
+              "      Create(RiskEngineConfig{});\n"
+              "}\n", "no-direct-engine")
+    lint_case("multiline EncodedProfileTable::Build is caught",
+              "service/foo.cc",
+              "void F(const ProfileTable& profiles) {\n"
+              "  auto enc = EncodedProfileTable\n"
+              "      ::Build(profiles, members);\n"
+              "}\n", "no-hot-rebuild")
+    lint_case("commented-out RiskEngine::Create is clean", "core/foo.cc",
+              "// auto engine = RiskEngine::Create(RiskEngineConfig{});\n"
+              "/* RiskEngine::\n"
+              "   Create(config) */\n"
+              "void F();\n", None)
+    lint_case("commented-out Build in service is clean", "service/foo.cc",
+              "// auto enc = EncodedProfileTable::Build(profiles, m);\n"
+              "void F();\n", None)
+    lint_case("Build in a string literal is clean", "service/foo.cc",
+              'const char* kHelp = "EncodedProfileTable::Build";\n', None)
+
+    # --- no-sleep-in-tests -----------------------------------------------
+    lint_case("sleep_for in tests is flagged", "service/foo_test.cc",
+              "#include <thread>\n"
+              "void F() {\n"
+              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+              "}\n", "no-sleep-in-tests", tree="tests")
+    lint_case("sleep_until in tests is flagged", "service/foo_test.cc",
+              "#include <thread>\n"
+              "void F(std::chrono::steady_clock::time_point t) {\n"
+              "  std::this_thread::sleep_until(t);\n"
+              "}\n", "no-sleep-in-tests", tree="tests")
+    lint_case("wrapped sleep_for in tests is flagged", "service/foo_test.cc",
+              "void F() {\n"
+              "  std::this_thread::\n"
+              "      sleep_for(std::chrono::seconds(1));\n"
+              "}\n", "no-sleep-in-tests", tree="tests")
+    lint_case("condition-based wait in tests is clean", "service/foo_test.cc",
+              "void F(sight::RiskService* service) {\n"
+              "  auto snapshot = service->WaitFor(kOwner, 1);\n"
+              "}\n", None, tree="tests")
+    lint_case("commented-out sleep in tests is clean", "service/foo_test.cc",
+              "// std::this_thread::sleep_for(kTick);  // was flaky\n"
+              "void F();\n", None, tree="tests")
+    lint_case("src/ rules do not fire in tests/", "core/foo_test.cc",
+              "#include <thread>\n"
+              "void F() { std::thread t([] {}); t.join(); }\n",
+              None, tree="tests")
+
+    # --- tool errors are exit 2, not findings ----------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        f = pathlib.Path(tmp) / "src" / "core" / "bad.cc"
+        f.parent.mkdir(parents=True)
+        f.write_bytes(b"\xff\xfe invalid utf-8 \xff void F();\n")
+        proc = run_lint(tmp)
+        expect("undecodable file exits 2 (tool error, not findings)",
+               proc.returncode == 2 and "cannot lint" in proc.stderr,
+               f"rc={proc.returncode}\n{proc.stdout}{proc.stderr}")
 
     # --- clean idioms must NOT be flagged --------------------------------
     lint_case("[[nodiscard]] declaration is clean", "core/foo.h",

@@ -5,6 +5,9 @@
 #   --build      configure + build with SIGHT_WERROR=ON (hardened warnings
 #                are errors) and run the full ctest suite
 #   --lint       tools/sight_lint.py repo rules + its self-test
+#   --analyze    tools/sight_analyzer.py semantic rules (epoch/lock/
+#                hot-path/status discipline over compile_commands.json)
+#                + its self-test; distinguishes findings from tool errors
 #   --tidy       clang-tidy over src/ using the exported compile commands
 #                (skipped with a notice if clang-tidy is not installed)
 #   --format     clang-format --dry-run -Werror over src/ tests/ tools/
@@ -35,7 +38,7 @@ STRICT_TOOLS="${CHECK_STRICT_TOOLS:-0}"
 
 cd "$REPO_ROOT"
 
-run_build=0 run_lint=0 run_tidy=0 run_format=0
+run_build=0 run_lint=0 run_analyze=0 run_tidy=0 run_format=0
 run_asan=0 run_ubsan=0 run_tsan=0 run_nosimd=0
 
 if [[ $# -eq 0 ]]; then
@@ -45,6 +48,7 @@ for arg in "$@"; do
   case "$arg" in
     --build)  run_build=1 ;;
     --lint)   run_lint=1 ;;
+    --analyze) run_analyze=1 ;;
     --tidy)   run_tidy=1 ;;
     --format) run_format=1 ;;
     --asan)   run_asan=1 ;;
@@ -54,9 +58,9 @@ for arg in "$@"; do
     --sanitize=address)   run_asan=1 ;;
     --sanitize=undefined) run_ubsan=1 ;;
     --sanitize=thread)    run_tsan=1 ;;
-    --all) run_build=1 run_lint=1 run_tidy=1 run_format=1
+    --all) run_build=1 run_lint=1 run_analyze=1 run_tidy=1 run_format=1
            run_asan=1 run_ubsan=1 run_tsan=1 run_nosimd=1 ;;
-    -h|--help) sed -n '2,23p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,27p' "$0"; exit 0 ;;
     *) echo "check.sh: unknown flag '$arg' (see --help)" >&2; exit 2 ;;
   esac
 done
@@ -77,10 +81,37 @@ if [[ $run_build -eq 1 ]]; then
   (cd build && ctest --output-on-failure -j "$JOBS")
 fi
 
+# Runs a python checker that uses exit 1 for findings and exit 2 for tool
+# errors, and reports which of the two actually happened.
+run_checker() {
+  local label="$1"; shift
+  local rc=0
+  "$@" || rc=$?
+  case "$rc" in
+    0) ;;
+    1) echo "check.sh: $label reported findings (fix or suppress them)" >&2
+       exit 1 ;;
+    2) echo "check.sh: $label failed to run (tool error — see above," \
+            "not a code finding)" >&2
+       exit 2 ;;
+    *) echo "check.sh: $label exited with unexpected status $rc" >&2
+       exit "$rc" ;;
+  esac
+}
+
 if [[ $run_lint -eq 1 ]]; then
   step "sight-lint"
-  python3 tools/sight_lint.py --root "$REPO_ROOT"
+  run_checker "sight-lint" python3 tools/sight_lint.py --root "$REPO_ROOT"
   python3 tests/tools/sight_lint_test.py
+fi
+
+if [[ $run_analyze -eq 1 ]]; then
+  step "sight-analyzer (semantic rules over compile_commands.json)"
+  # The analyzer consumes the compile commands the main configure exports.
+  [[ -f build/compile_commands.json ]] || configure_and_build build
+  run_checker "sight-analyzer" \
+    python3 tools/sight_analyzer.py --root "$REPO_ROOT" --build-dir build
+  python3 tests/tools/sight_analyzer_test.py
 fi
 
 if [[ $run_tidy -eq 1 ]]; then

@@ -25,14 +25,22 @@ Enforces the Sight library conventions documented in DESIGN.md §10:
                      the serving hot path carries one encoded table per
                      owner (StrangerEncodeCache, DESIGN.md §14); per-tick
                      rebuilds belong to the cache's own cold-fallback
-                     helper, never to service code.
+                     helper, never to service code. (First-line textual
+                     guard; tools/sight_analyzer.py enforces the same
+                     invariant semantically over the whole call graph.)
+  no-sleep-in-tests  No `std::this_thread::sleep_for/sleep_until` in
+                     tests/ — sleeping for "long enough" is the classic
+                     flake; wait on the condition instead (WaitFor,
+                     Poll-until-version, condition_variable predicates).
 
 Usage:
-  tools/sight_lint.py                 # lint src/ under the repo root
+  tools/sight_lint.py                 # lint src/ + tests/ under the root
   tools/sight_lint.py --root DIR      # lint DIR/src (used by the self-test)
   tools/sight_lint.py --list-rules
 
-Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+Exit status: 0 when clean, 1 when violations were found, 2 on tool error
+(unreadable/undecodable input, bad usage) — tools/check.sh distinguishes
+the two failure modes.
 """
 
 import argparse
@@ -257,17 +265,25 @@ def check_value(rel, lines, violations):
                     " process"))
 
 
+def multiline_matches(lines, pattern):
+    """Yields 1-based line numbers where `pattern` matches the joined
+    text. `\\s` in the pattern crosses newlines, so calls wrapped by
+    clang-format (`RiskEngine::\\n    Create(...)`) still match; comments
+    and strings were already blanked out by the caller."""
+    text = "\n".join(lines)
+    for m in re.finditer(pattern, text):
+        yield text.count("\n", 0, m.start()) + 1
+
+
 def check_direct_engine(rel, lines, violations):
     if rel in ALLOWLIST["no-direct-engine"]:
         return
-    pat = re.compile(r"\bRiskEngine\s*::\s*Create\b")
-    for idx, line in enumerate(lines):
-        if pat.search(line):
-            violations.append(Violation(
-                rel, idx + 1, "no-direct-engine",
-                "direct RiskEngine::Create outside src/service/ — go"
-                " through RiskService (or the RiskSession adapter);"
-                " see DESIGN.md §13"))
+    for line_no in multiline_matches(lines, r"\bRiskEngine\s*::\s*Create\b"):
+        violations.append(Violation(
+            rel, line_no, "no-direct-engine",
+            "direct RiskEngine::Create outside src/service/ — go"
+            " through RiskService (or the RiskSession adapter);"
+            " see DESIGN.md §13"))
 
 
 def check_hot_rebuild(rel, lines, violations):
@@ -278,14 +294,24 @@ def check_hot_rebuild(rel, lines, violations):
         return
     if rel in ALLOWLIST["no-hot-rebuild"]:
         return
-    pat = re.compile(r"\bEncodedProfileTable\s*::\s*Build\b")
-    for idx, line in enumerate(lines):
-        if pat.search(line):
-            violations.append(Violation(
-                rel, idx + 1, "no-hot-rebuild",
-                "EncodedProfileTable::Build in service code rebuilds the"
-                " encode every tick — go through the owner's carried"
-                " StrangerEncodeCache (DESIGN.md §14)"))
+    for line_no in multiline_matches(
+            lines, r"\bEncodedProfileTable\s*::\s*Build\b"):
+        violations.append(Violation(
+            rel, line_no, "no-hot-rebuild",
+            "EncodedProfileTable::Build in service code rebuilds the"
+            " encode every tick — go through the owner's carried"
+            " StrangerEncodeCache (DESIGN.md §14)"))
+
+
+def check_sleep_in_tests(rel, lines, violations):
+    for line_no in multiline_matches(
+            lines, r"std\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b"):
+        violations.append(Violation(
+            rel, line_no, "no-sleep-in-tests",
+            "sleeping in a test races the scheduler and flakes under"
+            " sanitizers — wait on the condition itself (WaitFor, a"
+            " condition_variable predicate, or polling the published"
+            " version)"))
 
 
 RULES = {
@@ -298,13 +324,19 @@ RULES = {
     "no-hot-rebuild": check_hot_rebuild,
 }
 
+# Rules applied to the tests/ tree (tests legitimately use raw stdio,
+# threads, and direct engine access, so the src/ rules stay out).
+TEST_RULES = {
+    "no-sleep-in-tests": check_sleep_in_tests,
+}
 
-def lint_file(path, src_root):
+
+def lint_file(path, src_root, rules=None):
     rel = str(path.relative_to(src_root))
     text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
     lines = text.splitlines()
     violations = []
-    for check in RULES.values():
+    for check in (rules or RULES).values():
         check(rel, lines, violations)
     return violations
 
@@ -319,30 +351,50 @@ def main(argv):
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for name in RULES:
+        for name in list(RULES) + list(TEST_RULES):
             print(name)
         return 0
 
     root = pathlib.Path(args.root)
     src_root = root / "src"
+    tests_root = root / "tests"
     if args.paths:
-        files = [pathlib.Path(p) for p in args.paths]
+        files = [(pathlib.Path(p), None) for p in args.paths]
     else:
         if not src_root.is_dir():
             print(f"sight-lint: no src/ under {root}", file=sys.stderr)
             return 2
-        files = sorted(p for p in src_root.rglob("*")
-                       if p.suffix in (".h", ".cc"))
+        files = [(p, RULES) for p in sorted(src_root.rglob("*"))
+                 if p.suffix in (".h", ".cc")]
+        if tests_root.is_dir():
+            files += [(p, TEST_RULES)
+                      for p in sorted(tests_root.rglob("*"))
+                      if p.suffix in (".h", ".cc")]
 
     all_violations = []
-    for f in files:
+    errors = []
+    for f, rules in files:
+        if rules is TEST_RULES or (
+                rules is None and tests_root in f.resolve().parents):
+            rel_root, rules = tests_root, TEST_RULES
+        else:
+            try:
+                rel_root = src_root if src_root in f.resolve().parents or \
+                    f.is_relative_to(src_root) else f.parent
+            except ValueError:
+                rel_root = f.parent
+            rules = RULES
         try:
-            rel_root = src_root if src_root in f.resolve().parents or \
-                f.is_relative_to(src_root) else f.parent
-        except ValueError:
-            rel_root = f.parent
-        all_violations.extend(lint_file(f, rel_root))
+            all_violations.extend(lint_file(f, rel_root, rules))
+        except (OSError, UnicodeDecodeError) as e:
+            errors.append(f"sight-lint: cannot lint {f}: {e}")
 
+    if errors:
+        # Tool failure, not a lint verdict: report everything and exit 2
+        # so callers don't mistake a broken run for findings.
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 2
     for v in all_violations:
         print(v)
     if all_violations:
